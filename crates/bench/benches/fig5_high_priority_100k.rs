@@ -1,0 +1,35 @@
+//! Figure 5: normalized total elapsed time of high-priority threads,
+//! high-priority inner loop = "100K" (scaled), for thread mixes
+//! 2+8 / 5+5 / 8+2 across write ratios 0–100 %.
+//!
+//! Run with `cargo bench -p revmon-bench --bench fig5_high_priority_100k`.
+//! Set `REVMON_FULL=1` for the paper-scale (very long) run.
+
+use revmon_bench::{gain_pct, print_figure, Scale, Series};
+
+fn main() {
+    let scale =
+        if std::env::var("REVMON_FULL").is_ok() { Scale::paper() } else { Scale::default_scale() };
+    let figs = print_figure(
+        "Figure 5",
+        "total time for high-priority threads, 100K-class iterations",
+        scale.high_iters_small,
+        &scale,
+        Series::HighPriority,
+    );
+    // Qualitative shape checks against the paper.
+    println!("\n# shape checks (paper: 25-100% improvement for (a)/(b); benefit shrinks in (c))");
+    let mut ok = true;
+    for ((high, low), rows) in &figs {
+        let avg_gain = rows.iter().map(gain_pct).sum::<f64>() / rows.len() as f64;
+        let verdict = if high <= low {
+            let pass = rows.iter().all(|r| r.modified < r.unmodified);
+            ok &= pass;
+            if pass { "PASS (modified wins at every write ratio)" } else { "FAIL" }
+        } else {
+            "INFO (paper expects diminished benefit here)"
+        };
+        println!("  {high}+{low}: average high-priority gain {avg_gain:+.1}% — {verdict}");
+    }
+    println!("# overall: {}", if ok { "SHAPE OK" } else { "SHAPE MISMATCH" });
+}

@@ -1,0 +1,28 @@
+//! Figure 6: normalized total elapsed time of high-priority threads,
+//! high-priority inner loop = "500K" (scaled; equal to the low-priority
+//! section length).
+//!
+//! Run with `cargo bench -p revmon-bench --bench fig6_high_priority_500k`.
+
+use revmon_bench::{gain_pct, print_figure, Scale, Series};
+
+fn main() {
+    let scale =
+        if std::env::var("REVMON_FULL").is_ok() { Scale::paper() } else { Scale::default_scale() };
+    let figs = print_figure(
+        "Figure 6",
+        "total time for high-priority threads, 500K-class iterations",
+        scale.high_iters_large,
+        &scale,
+        Series::HighPriority,
+    );
+    println!("\n# shape checks (paper: (a)/(b) improve 25-100%; (c) at heavy writes can invert)");
+    for ((high, low), rows) in &figs {
+        let avg_gain = rows.iter().map(gain_pct).sum::<f64>() / rows.len() as f64;
+        let wins = rows.iter().filter(|r| r.modified < r.unmodified).count();
+        println!(
+            "  {high}+{low}: average gain {avg_gain:+.1}%, modified wins {wins}/{} write ratios",
+            rows.len()
+        );
+    }
+}

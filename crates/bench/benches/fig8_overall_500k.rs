@@ -1,0 +1,31 @@
+//! Figure 8: normalized overall elapsed time (all threads), 500K-class
+//! high-priority iterations.
+//!
+//! Run with `cargo bench -p revmon-bench --bench fig8_overall_500k`.
+
+use revmon_bench::{print_figure, Scale, Series};
+
+fn main() {
+    let scale =
+        if std::env::var("REVMON_FULL").is_ok() { Scale::paper() } else { Scale::default_scale() };
+    let figs = print_figure(
+        "Figure 8",
+        "overall time, 500K-class iterations",
+        scale.high_iters_large,
+        &scale,
+        Series::Overall,
+    );
+    println!("\n# shape checks (paper: overall time on the modified VM is always longer)");
+    for ((high, low), rows) in &figs {
+        let pass = rows.iter().all(|r| r.modified >= r.unmodified * 0.98);
+        let overhead = rows
+            .iter()
+            .map(|r| (r.modified / r.unmodified - 1.0) * 100.0)
+            .sum::<f64>()
+            / rows.len() as f64;
+        println!(
+            "  {high}+{low}: average overall overhead {overhead:+.1}% — {}",
+            if pass { "PASS (modified >= unmodified)" } else { "FAIL" }
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! M1: micro-costs of the mechanism (§3.1.2's logging structures), as
+//! Criterion benchmarks over the real-thread library and the VM:
+//!
+//! * monitor enter/exit round trip (revocation vs blocking policy),
+//! * write-barrier logging cost per store,
+//! * rollback cost as a function of log length,
+//! * VM interpreter throughput with and without barriers.
+//!
+//! Run with `cargo bench -p revmon-bench --bench micro_costs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revmon_core::{InversionPolicy, Priority};
+use revmon_locks::{RevocableMonitor, TCell};
+use revmon_vm::value::Value;
+use revmon_vm::{Vm, VmConfig};
+
+/// How much does revocability cost against plain mutexes? The number an
+/// adopter asks first.
+fn bench_vs_plain_mutexes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_lock_roundtrip");
+    g.sample_size(30);
+    let cell = std::sync::Arc::new(parking_lot::Mutex::new(0i64));
+    g.bench_function("parking_lot_mutex", |b| {
+        b.iter(|| {
+            let mut v = cell.lock();
+            *v += 1;
+        })
+    });
+    let std_cell = std::sync::Arc::new(std::sync::Mutex::new(0i64));
+    g.bench_function("std_mutex", |b| {
+        b.iter(|| {
+            let mut v = std_cell.lock().unwrap();
+            *v += 1;
+        })
+    });
+    let m = RevocableMonitor::new();
+    let tcell = TCell::new(0i64);
+    g.bench_function("revocable_monitor", |b| {
+        b.iter(|| m.enter(Priority::NORM, |tx| tx.update(&tcell, |v| v + 1)))
+    });
+    let mb = RevocableMonitor::with_policy(revmon_core::InversionPolicy::Blocking);
+    g.bench_function("revocable_monitor_blocking_policy", |b| {
+        b.iter(|| mb.enter(Priority::NORM, |tx| tx.update(&tcell, |v| v + 1)))
+    });
+    g.finish();
+}
+
+fn bench_enter_exit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enter_exit");
+    g.sample_size(30);
+    for (name, policy) in [
+        ("revocation", InversionPolicy::Revocation),
+        ("blocking", InversionPolicy::Blocking),
+    ] {
+        let m = RevocableMonitor::with_policy(policy);
+        g.bench_function(name, |b| {
+            b.iter(|| m.enter(Priority::NORM, |tx| tx.checkpoint()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_logged_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logged_writes_per_section");
+    g.sample_size(20);
+    let m = RevocableMonitor::new();
+    let cell = TCell::new(0i64);
+    for n in [1usize, 16, 256, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                m.enter(Priority::NORM, |tx| {
+                    for i in 0..n as i64 {
+                        tx.write(&cell, i);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rollback_cost(c: &mut Criterion) {
+    // Measure a full (enter + N writes + forced self-revocation + retry)
+    // cycle: the contender is simulated by revoking from a helper thread
+    // parked on the monitor.
+    let mut g = c.benchmark_group("section_with_one_revocation");
+    g.sample_size(10);
+    for n in [16usize, 256, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let m = std::sync::Arc::new(RevocableMonitor::new());
+            let cell = TCell::new(0i64);
+            b.iter(|| {
+                let m2 = std::sync::Arc::clone(&m);
+                let c2 = cell.clone();
+                let low = std::thread::spawn(move || {
+                    let mut attempt = 0;
+                    m2.enter(Priority::LOW, |tx| {
+                        attempt += 1;
+                        for i in 0..n as i64 {
+                            tx.write(&c2, i);
+                        }
+                        if attempt == 1 {
+                            // Spin at yield points until revoked (or the
+                            // high thread is done and never revoked us).
+                            for _ in 0..5_000_000 {
+                                tx.checkpoint();
+                            }
+                        }
+                    });
+                });
+                // High-priority contender triggers the revocation.
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                m.enter(Priority::HIGH, |tx| tx.checkpoint());
+                low.join().unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_vm_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_interpreter");
+    g.sample_size(20);
+    for (name, cfg) in [
+        ("unmodified", VmConfig::unmodified()),
+        ("modified_barriers", VmConfig::modified()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (p, run) = revmon_bench::workload::benchmark_program();
+                let mut vm = Vm::new(p, cfg);
+                let lock = vm.heap_mut().alloc(0, 0);
+                let arr = vm.heap_mut().alloc_array(revmon_bench::workload::ARRAY_LEN);
+                vm.spawn(
+                    "t",
+                    run,
+                    vec![
+                        Value::Ref(lock),
+                        Value::Ref(arr),
+                        Value::Int(2_000),
+                        Value::Int(50),
+                        Value::Int(2),
+                        Value::Int(0),
+                    ],
+                    Priority::NORM,
+                );
+                vm.run().expect("run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vs_plain_mutexes,
+    bench_enter_exit,
+    bench_logged_writes,
+    bench_rollback_cost,
+    bench_vm_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! The paper's microbenchmark (§4.1), generated as a VM program.
+//!
+//! Every thread executes `sections` synchronized sections on one shared
+//! lock. Each section is an inner loop of `iters` interleaved shared-data
+//! operations on a 64-element shared array; operation `i` is a write when
+//! `i % 100 < write_pct`, otherwise a read — giving exactly the paper's
+//! write-ratio sweep, with *identical instruction counts on the read and
+//! write paths* so that the unmodified VM's cost is flat versus write
+//! ratio (as in the paper's dotted curves).
+//!
+//! Before each section the thread sleeps a random duration, uniform in
+//! `[0, 2·quantum)` — "a short random pause time (on average equal to a
+//! single thread quantum) right before an entry to the synchronized
+//! section, to ensure random arrival of threads at the monitors".
+
+use revmon_vm::builder::{MethodBuilder, ProgramBuilder};
+use revmon_vm::bytecode::{MethodId, Program};
+
+/// Shared-array length (power of two; indexed by `i % 64`).
+pub const ARRAY_LEN: u32 = 64;
+
+/// Build the benchmark program. The single method is
+/// `run(lock, arr, iters, write_pct, sections, pause_bound)`.
+pub fn benchmark_program() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let run = pb.declare_method("run", 6);
+    // locals: 0 lock, 1 arr, 2 iters, 3 write_pct, 4 sections,
+    //         5 pause_bound, 6 s, 7 i
+    let mut b = MethodBuilder::new(6, 8);
+    b.const_i(0);
+    b.store(6);
+    let outer = b.here();
+    b.load(6);
+    b.load(4);
+    let done = b.new_label();
+    b.if_ge(done);
+    // random arrival pause
+    b.load(5);
+    b.rand_int();
+    b.sleep();
+    // the synchronized section
+    b.sync_on_local(0, |b| {
+        b.const_i(0);
+        b.store(7);
+        let inner = b.here();
+        b.load(7);
+        b.load(2);
+        let inner_done = b.new_label();
+        b.if_ge(inner_done);
+        // write if (i % 100) < write_pct
+        b.load(7);
+        b.const_i(100);
+        b.rem();
+        b.load(3);
+        let write_op = b.new_label();
+        b.if_lt(write_op);
+        // read path: arr[i % 64]
+        b.load(1);
+        b.load(7);
+        b.const_i(ARRAY_LEN as i64);
+        b.rem();
+        b.aload();
+        b.pop();
+        let next = b.new_label();
+        b.goto(next);
+        // write path: arr[i % 64] = i
+        b.place(write_op);
+        b.load(1);
+        b.load(7);
+        b.const_i(ARRAY_LEN as i64);
+        b.rem();
+        b.load(7);
+        b.astore();
+        b.place(next);
+        b.load(7);
+        b.const_i(1);
+        b.add();
+        b.store(7);
+        b.goto(inner);
+        b.place(inner_done);
+    });
+    b.load(6);
+    b.const_i(1);
+    b.add();
+    b.store(6);
+    b.goto(outer);
+    b.place(done);
+    b.ret_void();
+    pb.implement(run, b);
+    (pb.finish(), run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmon_core::Priority;
+    use revmon_vm::value::Value;
+    use revmon_vm::{Vm, VmConfig};
+
+    fn run_small(cfg: VmConfig, write_pct: i64) -> revmon_vm::RunReport {
+        let (p, run) = benchmark_program();
+        let mut vm = Vm::new(p, cfg);
+        let lock = vm.heap_mut().alloc(0, 0);
+        let arr = vm.heap_mut().alloc_array(ARRAY_LEN);
+        let args = |iters: i64| {
+            vec![
+                Value::Ref(lock),
+                Value::Ref(arr),
+                Value::Int(iters),
+                Value::Int(write_pct),
+                Value::Int(3),
+                Value::Int(1_000),
+            ]
+        };
+        vm.spawn("low", run, args(400), Priority::LOW);
+        vm.spawn("high", run, args(100), Priority::HIGH);
+        vm.run().expect("benchmark program runs")
+    }
+
+    #[test]
+    fn program_completes_on_both_vms() {
+        for cfg in [VmConfig::unmodified(), VmConfig::modified()] {
+            let r = run_small(cfg, 40);
+            assert!(r.threads.iter().all(|t| t.uncaught.is_none()));
+            assert!(r.clock > 0);
+        }
+    }
+
+    #[test]
+    fn write_ratio_controls_log_volume() {
+        let zero = run_small(VmConfig::modified(), 0);
+        let half = run_small(VmConfig::modified(), 50);
+        let full = run_small(VmConfig::modified(), 100);
+        assert_eq!(zero.global.log_entries, 0);
+        assert!(half.global.log_entries > 0);
+        assert!(full.global.log_entries > half.global.log_entries);
+    }
+
+    #[test]
+    fn read_and_write_paths_cost_the_same_unmodified() {
+        // On the unmodified VM (no barriers) the benchmark's elapsed time
+        // is flat versus write ratio.
+        let a = run_small(VmConfig::unmodified(), 0);
+        let b = run_small(VmConfig::unmodified(), 100);
+        let (ea, eb) = (a.overall_elapsed() as f64, b.overall_elapsed() as f64);
+        let ratio = eb / ea;
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "write-ratio changed unmodified cost: {ratio}"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! `revmon` — run, disassemble and verify `.rvm` assembly programs on the
+//! revocable-monitor VM.
+//!
+//! ```text
+//! revmon run program.rvm [--entry main] [--config modified|unmodified]
+//!        [--policy blocking|revocation|inherit|ceiling=N]
+//!        [--sched rr|prio] [--queue pq|fifo] [--detect acq|bg=N]
+//!        [--seed N] [--quantum N] [--max-steps N]
+//!        [--elide] [--sticky] [--trace] [--stats]
+//! revmon dis program.rvm [--rewrite]
+//! revmon verify program.rvm [--rewrite]
+//! ```
+
+use revmon_core::{DetectionStrategy, InversionPolicy, Priority, QueueDiscipline};
+use revmon_vm::{
+    assemble, disassemble, rewrite_program, verify_program, SchedulerKind, Vm, VmConfig,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("revmon: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: revmon <run|dis|verify> <file.rvm> [options]\n       see crate docs for the option list".into()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or_else(usage)?;
+    let file = args.get(1).ok_or_else(usage)?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let program = assemble(&src).map_err(|e| format!("{file}: {e}"))?;
+    let opts = &args[2..];
+
+    match cmd.as_str() {
+        "dis" => {
+            let p = if has_flag(opts, "--rewrite") { rewrite_program(&program) } else { program };
+            print!("{}", disassemble(&p));
+            Ok(())
+        }
+        "verify" => {
+            let p = if has_flag(opts, "--rewrite") { rewrite_program(&program) } else { program };
+            match verify_program(&p) {
+                Ok(()) => {
+                    println!("{file}: OK ({} methods)", p.methods.len());
+                    Ok(())
+                }
+                Err(errors) => {
+                    for e in &errors {
+                        eprintln!("{file}: {e}");
+                    }
+                    Err(format!("{} verification error(s)", errors.len()))
+                }
+            }
+        }
+        "run" => run_program(file, program, opts),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn run_program(
+    file: &str,
+    program: revmon_vm::bytecode::Program,
+    opts: &[String],
+) -> Result<(), String> {
+    let mut cfg = match get_opt(opts, "--config")?.as_deref() {
+        None | Some("modified") => VmConfig::modified(),
+        Some("unmodified") => VmConfig::unmodified(),
+        Some(o) => return Err(format!("--config must be modified|unmodified, got {o}")),
+    };
+    if let Some(p) = get_opt(opts, "--policy")? {
+        cfg.policy = match p.as_str() {
+            "blocking" => InversionPolicy::Blocking,
+            "revocation" => InversionPolicy::Revocation,
+            "inherit" => InversionPolicy::PriorityInheritance,
+            s if s.starts_with("ceiling=") => {
+                let n: u8 = s[8..].parse().map_err(|_| "bad ceiling level".to_string())?;
+                InversionPolicy::PriorityCeiling(Priority::new(n))
+            }
+            o => return Err(format!("unknown policy `{o}`")),
+        };
+    }
+    if let Some(s) = get_opt(opts, "--sched")? {
+        cfg.scheduler = match s.as_str() {
+            "rr" => SchedulerKind::RoundRobin,
+            "prio" => SchedulerKind::PriorityPreemptive,
+            o => return Err(format!("--sched must be rr|prio, got {o}")),
+        };
+    }
+    if let Some(q) = get_opt(opts, "--queue")? {
+        cfg.queue_discipline = match q.as_str() {
+            "pq" => QueueDiscipline::Priority,
+            "fifo" => QueueDiscipline::Fifo,
+            o => return Err(format!("--queue must be pq|fifo, got {o}")),
+        };
+    }
+    if let Some(d) = get_opt(opts, "--detect")? {
+        cfg.detection = match d.as_str() {
+            "acq" => DetectionStrategy::AtAcquisition,
+            s if s.starts_with("bg=") => DetectionStrategy::Background {
+                period: s[3..].parse().map_err(|_| "bad bg period".to_string())?,
+            },
+            o => return Err(format!("--detect must be acq|bg=N, got {o}")),
+        };
+    }
+    if let Some(s) = get_opt(opts, "--seed")? {
+        cfg.seed = s.parse().map_err(|_| "bad seed".to_string())?;
+    }
+    if let Some(q) = get_opt(opts, "--quantum")? {
+        cfg.cost.quantum = q.parse().map_err(|_| "bad quantum".to_string())?;
+    }
+    if let Some(m) = get_opt(opts, "--max-steps")? {
+        cfg.max_steps = m.parse().map_err(|_| "bad max-steps".to_string())?;
+    }
+    cfg.elide_barriers = has_flag(opts, "--elide");
+    cfg.sticky_nonrevocable = has_flag(opts, "--sticky");
+    cfg.trace = has_flag(opts, "--trace");
+
+    let entry_name = get_opt(opts, "--entry")?.unwrap_or_else(|| "main".into());
+    let entry = program
+        .method_by_name(&entry_name)
+        .ok_or_else(|| format!("{file}: no method named `{entry_name}`"))?;
+    if program.method(entry).params != 0 {
+        return Err(format!("entry method `{entry_name}` must take no parameters"));
+    }
+
+    let mut vm = Vm::try_new(program, cfg).map_err(|errs| {
+        let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        format!("{file}: verification failed:\n  {}", msgs.join("\n  "))
+    })?;
+    vm.spawn(&entry_name, entry, vec![], Priority::NORM);
+    let report = vm.run().map_err(|e| format!("{file}: VM fault: {e}"))?;
+
+    if cfg.trace {
+        println!("--- trace ---");
+        for rec in vm.take_trace() {
+            println!("[{:>10}] {:?}", rec.at, rec.event);
+        }
+    }
+    if !report.output.is_empty() {
+        println!("--- output ---");
+        for v in &report.output {
+            println!("{v}");
+        }
+    }
+    for t in &report.threads {
+        if let Some(tag) = t.uncaught {
+            eprintln!("warning: thread {} died with uncaught exception (class {tag})", t.name);
+        }
+    }
+    if has_flag(opts, "--stats") {
+        println!("--- stats ---");
+        print!("{}", report.summary());
+        if !report.monitors.is_empty() {
+            println!("--- monitors (by contention) ---");
+            for m in report.monitors.iter().take(8) {
+                println!(
+                    "{}: {} acquires, {} contended, peak queue {}",
+                    m.object, m.acquires, m.contended, m.peak_queue
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn has_flag(opts: &[String], flag: &str) -> bool {
+    opts.iter().any(|o| o == flag)
+}
+
+/// `--key value` style option.
+fn get_opt(opts: &[String], key: &str) -> Result<Option<String>, String> {
+    for (i, o) in opts.iter().enumerate() {
+        if o == key {
+            return opts
+                .get(i + 1)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{key} needs a value"));
+        }
+    }
+    Ok(None)
+}

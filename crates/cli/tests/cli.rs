@@ -1,0 +1,125 @@
+//! End-to-end CLI tests over the sample `.rvm` programs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_revmon"))
+}
+
+fn program(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../programs")
+        .join(name);
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn run_counter_emits_total() {
+    let out = bin().args(["run", &program("counter.rvm"), "--stats"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("4000"), "expected the counter total, got:\n{stdout}");
+    assert!(stdout.contains("rollbacks"), "stats block missing");
+}
+
+#[test]
+fn priority_inversion_waits_less_on_modified_vm() {
+    let wait_of = |config: &str| -> i64 {
+        let out = bin()
+            .args(["run", &program("priority_inversion.rvm"), "--config", config])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        stdout
+            .lines()
+            .filter_map(|l| l.trim().parse::<i64>().ok())
+            .next()
+            .unwrap_or_else(|| panic!("no emitted wait time in:\n{stdout}"))
+    };
+    let modified = wait_of("modified");
+    let unmodified = wait_of("unmodified");
+    assert!(
+        modified < unmodified / 2,
+        "revocation should slash the high-priority wait: modified={modified} unmodified={unmodified}"
+    );
+}
+
+#[test]
+fn deadlock_breaks_on_modified_vm_and_stalls_on_unmodified() {
+    let ok = bin().args(["run", &program("deadlock.rvm")]).output().unwrap();
+    assert!(ok.status.success());
+    assert!(String::from_utf8_lossy(&ok.stdout).contains('2'));
+
+    let stalled = bin()
+        .args(["run", &program("deadlock.rvm"), "--config", "unmodified"])
+        .output()
+        .unwrap();
+    assert!(!stalled.status.success(), "blocking VM must report the deadlock");
+    assert!(String::from_utf8_lossy(&stalled.stderr).contains("no runnable threads"));
+}
+
+#[test]
+fn dis_shows_injected_scopes_after_rewrite() {
+    let plain = bin().args(["dis", &program("counter.rvm")]).output().unwrap();
+    assert!(plain.status.success());
+    let plain = String::from_utf8_lossy(&plain.stdout).into_owned();
+    assert!(plain.contains("monitorenter"));
+    assert!(!plain.contains("savestate"));
+
+    let rewritten = bin()
+        .args(["dis", &program("counter.rvm"), "--rewrite"])
+        .output()
+        .unwrap();
+    let rewritten = String::from_utf8_lossy(&rewritten.stdout).into_owned();
+    assert!(rewritten.contains("savestate"));
+    assert!(rewritten.contains("rollbackhandler"));
+}
+
+#[test]
+fn verify_accepts_samples_and_rejects_garbage() {
+    for f in ["counter.rvm", "priority_inversion.rvm", "deadlock.rvm"] {
+        let out = bin().args(["verify", &program(f), "--rewrite"]).output().unwrap();
+        assert!(out.status.success(), "{f} failed verify");
+    }
+    let tmp = std::env::temp_dir().join("revmon-bad.rvm");
+    std::fs::write(&tmp, ".method m params=0 locals=0\n    pop\n    retvoid\n.end\n").unwrap();
+    let out = bin().args(["verify", tmp.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stack"));
+}
+
+#[test]
+fn unknown_flags_and_files_fail_cleanly() {
+    let out = bin().args(["run", "/nonexistent.rvm"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().args(["frobnicate", &program("counter.rvm")]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn trace_flag_prints_monitor_events() {
+    let out = bin()
+        .args(["run", &program("priority_inversion.rvm"), "--trace"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Acquire"), "trace missing:\n{stdout}");
+}
+
+#[test]
+fn producer_consumer_handshake_works() {
+    for config in ["modified", "unmodified"] {
+        let out = bin()
+            .args(["run", &program("producer_consumer.rvm"), "--config", config])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let values: Vec<i64> =
+            stdout.lines().filter_map(|l| l.trim().parse::<i64>().ok()).collect();
+        assert_eq!(values, vec![10, 20, 30, 40, 50, 5], "config {config}: {stdout}");
+    }
+}

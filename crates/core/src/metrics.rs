@@ -1,0 +1,153 @@
+//! Execution counters and small statistics helpers.
+//!
+//! [`Metrics`] is filled by both runtimes; the benchmark harness reads it
+//! to report the paper's figures. The statistics helpers implement the
+//! mean and the 90 % confidence interval the paper reports ("we show 90 %
+//! confidence intervals in our results", §4.1).
+
+/// Counters describing one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Bytecode instructions executed (VM) / data operations (locks).
+    pub instructions: u64,
+    /// Monitor acquisitions that succeeded immediately.
+    pub monitor_acquires: u64,
+    /// Monitor acquisitions that found the monitor held.
+    pub contended_acquires: u64,
+    /// Context switches between green threads.
+    pub context_switches: u64,
+    /// Undo-log entries written (write-barrier slow path executions).
+    pub log_entries: u64,
+    /// Write-barrier fast-path executions (every store on modified VM).
+    pub barrier_fast_paths: u64,
+    /// Stores that skipped the barrier thanks to static elision.
+    pub barriers_elided: u64,
+    /// Revocations requested (holder flagged by a higher-priority thread).
+    pub revocations_requested: u64,
+    /// Rollbacks actually performed.
+    pub rollbacks: u64,
+    /// Undo-log entries restored by rollbacks.
+    pub entries_rolled_back: u64,
+    /// Synchronized-section executions that committed.
+    pub sections_committed: u64,
+    /// Priority-inversion events detected.
+    pub inversions_detected: u64,
+    /// Inversions left unresolved because the monitor was non-revocable.
+    pub inversions_unresolved: u64,
+    /// Monitors marked non-revocable by the JMM-consistency guard.
+    pub monitors_marked_nonrevocable: u64,
+    /// Deadlock cycles detected.
+    pub deadlocks_detected: u64,
+    /// Deadlocks broken by revoking a victim.
+    pub deadlocks_broken: u64,
+    /// Priority boosts applied (priority-inheritance baseline).
+    pub priority_boosts: u64,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component-wise sum, for aggregating per-thread metrics.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.instructions += other.instructions;
+        self.monitor_acquires += other.monitor_acquires;
+        self.contended_acquires += other.contended_acquires;
+        self.context_switches += other.context_switches;
+        self.log_entries += other.log_entries;
+        self.barrier_fast_paths += other.barrier_fast_paths;
+        self.barriers_elided += other.barriers_elided;
+        self.revocations_requested += other.revocations_requested;
+        self.rollbacks += other.rollbacks;
+        self.entries_rolled_back += other.entries_rolled_back;
+        self.sections_committed += other.sections_committed;
+        self.inversions_detected += other.inversions_detected;
+        self.inversions_unresolved += other.inversions_unresolved;
+        self.monitors_marked_nonrevocable += other.monitors_marked_nonrevocable;
+        self.deadlocks_detected += other.deadlocks_detected;
+        self.deadlocks_broken += other.deadlocks_broken;
+        self.priority_boosts += other.priority_boosts;
+    }
+}
+
+/// Arithmetic mean of `xs`. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator). 0.0 for n < 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Half-width of the 90 % confidence interval around the mean, using
+/// Student-t critical values for small n (the paper runs 5 iterations).
+pub fn ci90_half_width(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    // Two-sided 90% t critical values for df = n-1.
+    const T90: [f64; 30] = [
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+        1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+        1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+    ];
+    let df = n - 1;
+    let t = if df <= T90.len() { T90[df - 1] } else { 1.645 };
+    t * std_dev(xs) / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let mut a = Metrics { instructions: 1, rollbacks: 2, ..Metrics::new() };
+        let b = Metrics { instructions: 10, rollbacks: 20, log_entries: 5, ..Metrics::new() };
+        a.merge(&b);
+        assert_eq!(a.instructions, 11);
+        assert_eq!(a.rollbacks, 22);
+        assert_eq!(a.log_entries, 5);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std_dev_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ci90_zero_for_constant_samples() {
+        assert_eq!(ci90_half_width(&[3.0, 3.0, 3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn ci90_five_samples_uses_t_2_132() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let expected = 2.132 * std_dev(&xs) / (5.0f64).sqrt();
+        assert!((ci90_half_width(&xs) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci90_single_sample_is_zero() {
+        assert_eq!(ci90_half_width(&[42.0]), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Priority-inversion policies and detection strategies.
+//!
+//! The paper evaluates **revocation** against an unmodified VM
+//! (**blocking**); its related-work section discusses **priority
+//! inheritance** and **priority ceiling**, which we implement as ablation
+//! baselines (experiment A1 in DESIGN.md).
+
+use crate::priority::Priority;
+
+/// What a runtime does when a high-priority thread finds the monitor it
+/// wants held by a lower-priority thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum InversionPolicy {
+    /// The unmodified VM: the requester simply blocks until the holder
+    /// leaves the synchronized section. Priority inversion is unaddressed.
+    #[default]
+    Blocking,
+    /// The paper's contribution: the holder is flagged and, at its next
+    /// yield point, rolls back the synchronized section (restoring all
+    /// logged updates), releases the monitor, and retries after the
+    /// high-priority thread has run.
+    Revocation,
+    /// Classical priority inheritance: the holder temporarily inherits the
+    /// requester's priority until it releases the monitor. Transitive.
+    PriorityInheritance,
+    /// Priority ceiling emulation: every thread that acquires the monitor
+    /// runs at the monitor's programmer-declared ceiling priority while
+    /// holding it.
+    PriorityCeiling(Priority),
+}
+
+impl InversionPolicy {
+    /// Whether this policy ever requires write barriers / undo logging.
+    ///
+    /// Only revocation does; this mirrors the paper's "unmodified VM"
+    /// compiling the benchmark without barriers.
+    pub fn needs_logging(self) -> bool {
+        matches!(self, InversionPolicy::Revocation)
+    }
+
+    /// Whether this policy can resolve deadlocks by revoking a victim.
+    pub fn can_break_deadlock(self) -> bool {
+        matches!(self, InversionPolicy::Revocation)
+    }
+}
+
+/// How priority inversion is detected (§1.1: "either at lock acquisition,
+/// or periodically in the background").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DetectionStrategy {
+    /// Check at every contended acquisition: the acquiring thread compares
+    /// its priority against the priority deposited in the monitor header.
+    #[default]
+    AtAcquisition,
+    /// A background scan every `period` virtual-clock ticks walks all
+    /// contended monitors looking for inversions.
+    Background {
+        /// Scan period in virtual-clock ticks.
+        period: u64,
+    },
+}
+
+/// Ordering discipline for a monitor's entry queue.
+///
+/// The paper implements *prioritized monitor queues* so results do not
+/// depend on random arrival order: on release, waiting high-priority
+/// threads always beat waiting low-priority threads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum QueueDiscipline {
+    /// Strict FIFO (Jikes RVM default).
+    Fifo,
+    /// Highest priority first; FIFO within a priority class (the paper's
+    /// addition, used in all measurements).
+    #[default]
+    Priority,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_revocation_needs_logging() {
+        assert!(!InversionPolicy::Blocking.needs_logging());
+        assert!(InversionPolicy::Revocation.needs_logging());
+        assert!(!InversionPolicy::PriorityInheritance.needs_logging());
+        assert!(!InversionPolicy::PriorityCeiling(Priority::MAX).needs_logging());
+    }
+
+    #[test]
+    fn only_revocation_breaks_deadlock() {
+        assert!(InversionPolicy::Revocation.can_break_deadlock());
+        assert!(!InversionPolicy::PriorityInheritance.can_break_deadlock());
+    }
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        assert_eq!(InversionPolicy::default(), InversionPolicy::Blocking);
+        assert_eq!(DetectionStrategy::default(), DetectionStrategy::AtAcquisition);
+        assert_eq!(QueueDiscipline::default(), QueueDiscipline::Priority);
+    }
+}

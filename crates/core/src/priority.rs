@@ -1,0 +1,129 @@
+//! Thread priorities and identifier newtypes.
+//!
+//! The paper's evaluation uses a two-level scheme ("a thread can have
+//! either high or low priority", §4) but the mechanism is defined for
+//! arbitrary priorities, so we model the full Java range 1..=10 with the
+//! usual `MIN`/`NORM`/`MAX` constants and expose `HIGH`/`LOW` shorthands
+//! matching the benchmark.
+
+use std::fmt;
+
+/// A scheduling priority. Higher numeric value means more urgent, matching
+/// `java.lang.Thread` (1 = `MIN_PRIORITY`, 5 = `NORM_PRIORITY`,
+/// 10 = `MAX_PRIORITY`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Minimum priority (Java `Thread.MIN_PRIORITY`).
+    pub const MIN: Priority = Priority(1);
+    /// Default priority (Java `Thread.NORM_PRIORITY`).
+    pub const NORM: Priority = Priority(5);
+    /// Maximum priority (Java `Thread.MAX_PRIORITY`).
+    pub const MAX: Priority = Priority(10);
+    /// The benchmark's "low-priority" class.
+    pub const LOW: Priority = Priority(2);
+    /// The benchmark's "high-priority" class.
+    pub const HIGH: Priority = Priority(8);
+
+    /// Create a priority, clamping into the valid Java range 1..=10.
+    pub fn new(level: u8) -> Priority {
+        Priority(level.clamp(1, 10))
+    }
+
+    /// The raw level.
+    pub fn level(self) -> u8 {
+        self.0
+    }
+
+    /// The higher of two priorities (used by priority inheritance).
+    pub fn max_of(self, other: Priority) -> Priority {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORM
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a thread in either runtime. Dense indices: both the VM and
+/// the real-thread registry hand these out sequentially from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifies a monitor (the lock word of an object in the VM, or a
+/// `RevocableMonitor` instance in the real-thread library).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MonitorId(pub u32);
+
+impl MonitorId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MonitorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering_follows_level() {
+        assert!(Priority::HIGH > Priority::LOW);
+        assert!(Priority::MAX > Priority::NORM);
+        assert!(Priority::NORM > Priority::MIN);
+        assert_eq!(Priority::new(7), Priority(7));
+    }
+
+    #[test]
+    fn new_clamps_to_java_range() {
+        assert_eq!(Priority::new(0), Priority::MIN);
+        assert_eq!(Priority::new(200), Priority::MAX);
+        assert_eq!(Priority::new(10), Priority::MAX);
+    }
+
+    #[test]
+    fn max_of_picks_higher() {
+        assert_eq!(Priority::LOW.max_of(Priority::HIGH), Priority::HIGH);
+        assert_eq!(Priority::HIGH.max_of(Priority::LOW), Priority::HIGH);
+        assert_eq!(Priority::NORM.max_of(Priority::NORM), Priority::NORM);
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert_eq!(MonitorId(9).to_string(), "M9");
+        assert_eq!(Priority::HIGH.to_string(), "P8");
+    }
+}

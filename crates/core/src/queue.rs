@@ -1,0 +1,197 @@
+//! Prioritized monitor entry queues.
+//!
+//! §4: *"we implemented prioritized monitor queues. […] When a thread
+//! releases a monitor, another thread is scheduled from the queue. If it
+//! is a high-priority thread, it is allowed to acquire the monitor. If it
+//! is a low-priority thread, it is allowed to run only if there are no
+//! other waiting high-priority threads."*
+//!
+//! [`PrioritizedQueue`] generalizes this to the full priority range:
+//! highest priority class first, FIFO within a class. A [`QueueDiscipline`]
+//! switch turns it into a plain FIFO for the ablation benches.
+
+use crate::policy::QueueDiscipline;
+use crate::priority::Priority;
+use std::collections::VecDeque;
+
+/// A waiting entry: the queued item plus the priority it queued at and an
+/// arrival sequence number used for FIFO-within-class and stable FIFO.
+#[derive(Debug, Clone)]
+struct Waiter<T> {
+    item: T,
+    priority: Priority,
+    seq: u64,
+}
+
+/// A monitor entry queue honouring a [`QueueDiscipline`].
+///
+/// ```
+/// use revmon_core::{PrioritizedQueue, Priority, QueueDiscipline};
+///
+/// let mut q = PrioritizedQueue::new(QueueDiscipline::Priority);
+/// q.push("low", Priority::LOW);
+/// q.push("high", Priority::HIGH);
+/// assert_eq!(q.pop(), Some("high")); // high-priority waiters first
+/// assert_eq!(q.pop(), Some("low"));
+/// ```
+#[derive(Debug)]
+pub struct PrioritizedQueue<T> {
+    waiters: VecDeque<Waiter<T>>,
+    discipline: QueueDiscipline,
+    next_seq: u64,
+}
+
+impl<T> PrioritizedQueue<T> {
+    /// An empty queue under the given discipline.
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        PrioritizedQueue { waiters: VecDeque::new(), discipline, next_seq: 0 }
+    }
+
+    /// Enqueue `item` waiting at `priority`.
+    pub fn push(&mut self, item: T, priority: Priority) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.waiters.push_back(Waiter { item, priority, seq });
+    }
+
+    /// Dequeue the next waiter according to the discipline: under
+    /// [`QueueDiscipline::Priority`], the earliest-arrived waiter of the
+    /// highest waiting priority; under [`QueueDiscipline::Fifo`], the
+    /// earliest-arrived waiter outright.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.waiters.is_empty() {
+            return None;
+        }
+        let idx = match self.discipline {
+            QueueDiscipline::Fifo => 0,
+            QueueDiscipline::Priority => {
+                let mut best = 0usize;
+                for i in 1..self.waiters.len() {
+                    let (w, b) = (&self.waiters[i], &self.waiters[best]);
+                    if w.priority > b.priority
+                        || (w.priority == b.priority && w.seq < b.seq)
+                    {
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        self.waiters.remove(idx).map(|w| w.item)
+    }
+
+    /// Peek at the priority of the waiter [`pop`](Self::pop) would return.
+    pub fn next_priority(&self) -> Option<Priority> {
+        match self.discipline {
+            QueueDiscipline::Fifo => self.waiters.front().map(|w| w.priority),
+            QueueDiscipline::Priority => {
+                self.waiters.iter().map(|w| w.priority).max()
+            }
+        }
+    }
+
+    /// Highest priority currently waiting (regardless of discipline).
+    /// Used by priority inheritance to compute the boost.
+    pub fn max_waiting_priority(&self) -> Option<Priority> {
+        self.waiters.iter().map(|w| w.priority).max()
+    }
+
+    /// Remove a specific waiter (e.g. a thread killed while queued).
+    /// Returns true if it was present.
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&T) -> bool) -> bool {
+        if let Some(pos) = self.waiters.iter().position(|w| pred(&w.item)) {
+            self.waiters.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of waiters.
+    pub fn len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+
+    /// Iterate over queued items in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.waiters.iter().map(|w| &w.item)
+    }
+}
+
+impl<T> Default for PrioritizedQueue<T> {
+    fn default() -> Self {
+        Self::new(QueueDiscipline::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_discipline_pops_high_first() {
+        let mut q = PrioritizedQueue::new(QueueDiscipline::Priority);
+        q.push("low1", Priority::LOW);
+        q.push("high1", Priority::HIGH);
+        q.push("low2", Priority::LOW);
+        q.push("high2", Priority::HIGH);
+        assert_eq!(q.pop(), Some("high1"));
+        assert_eq!(q.pop(), Some("high2"));
+        assert_eq!(q.pop(), Some("low1"));
+        assert_eq!(q.pop(), Some("low2"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_discipline_ignores_priority() {
+        let mut q = PrioritizedQueue::new(QueueDiscipline::Fifo);
+        q.push("low", Priority::LOW);
+        q.push("high", Priority::HIGH);
+        assert_eq!(q.pop(), Some("low"));
+        assert_eq!(q.pop(), Some("high"));
+    }
+
+    #[test]
+    fn next_priority_matches_pop_order() {
+        let mut q = PrioritizedQueue::new(QueueDiscipline::Priority);
+        q.push(1, Priority::LOW);
+        assert_eq!(q.next_priority(), Some(Priority::LOW));
+        q.push(2, Priority::HIGH);
+        assert_eq!(q.next_priority(), Some(Priority::HIGH));
+    }
+
+    #[test]
+    fn max_waiting_priority_independent_of_discipline() {
+        let mut q = PrioritizedQueue::new(QueueDiscipline::Fifo);
+        q.push(1, Priority::LOW);
+        q.push(2, Priority::MAX);
+        q.push(3, Priority::NORM);
+        assert_eq!(q.max_waiting_priority(), Some(Priority::MAX));
+    }
+
+    #[test]
+    fn remove_where_extracts_matching_waiter() {
+        let mut q = PrioritizedQueue::new(QueueDiscipline::Priority);
+        q.push(1, Priority::LOW);
+        q.push(2, Priority::HIGH);
+        assert!(q.remove_where(|&x| x == 2));
+        assert!(!q.remove_where(|&x| x == 2));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn three_priority_classes_ordered() {
+        let mut q = PrioritizedQueue::new(QueueDiscipline::Priority);
+        q.push("n", Priority::NORM);
+        q.push("l", Priority::MIN);
+        q.push("h", Priority::MAX);
+        assert_eq!(q.pop(), Some("h"));
+        assert_eq!(q.pop(), Some("n"));
+        assert_eq!(q.pop(), Some("l"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Transactional data cells.
+//!
+//! [`TCell`] is the library's unit of revocable shared state: the
+//! analogue of a monitor-protected Java field. It is **only readable and
+//! writable through a [`Tx`](crate::tx::Tx)** obtained from
+//! [`RevocableMonitor::enter`](crate::monitor::RevocableMonitor::enter) —
+//! Rust's ownership discipline statically guarantees what the paper's
+//! JMM-consistency guard (§2.2) enforces dynamically: no other thread can
+//! observe a speculative value, so rollback can never manufacture
+//! out-of-thin-air reads.
+//!
+//! [`VolatileCell`] is the deliberate escape hatch, mirroring Java
+//! `volatile` (Fig. 3): it is readable *without* a monitor at any time.
+//! Consequently, writing one inside a synchronized section immediately
+//! publishes the value, and the library responds exactly as the paper
+//! prescribes — the enclosing sections become **non-revocable**.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A revocable cell holding a `T`. Cheap to clone (shared handle).
+///
+/// All access goes through [`Tx::read`](crate::tx::Tx::read) /
+/// [`Tx::write`](crate::tx::Tx::write); the cell itself exposes only
+/// construction and (for tests/reporting) a post-synchronization snapshot.
+#[derive(Debug)]
+pub struct TCell<T> {
+    pub(crate) inner: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for TCell<T> {
+    fn clone(&self) -> Self {
+        TCell { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> TCell<T> {
+    /// A new cell with the given initial value.
+    pub fn new(value: T) -> Self {
+        TCell { inner: Arc::new(Mutex::new(value)) }
+    }
+}
+
+impl<T: Clone> TCell<T> {
+    /// Read the committed value from *outside* any synchronized section.
+    ///
+    /// Intended for after-the-fact inspection (assertions, reporting)
+    /// once the threads using the cell have quiesced. Unlike a Java
+    /// unsynchronized read this cannot observe a torn value, but it *can*
+    /// observe a speculative one if misused while a section is live —
+    /// which is why it is named the way it is.
+    pub fn read_unsynchronized(&self) -> T {
+        self.inner.lock().clone()
+    }
+}
+
+impl<T: Default> Default for TCell<T> {
+    fn default() -> Self {
+        TCell::new(T::default())
+    }
+}
+
+/// A Java-`volatile`-like integer cell: readable lock-free from anywhere,
+/// at the price that a transactional write to it pins the enclosing
+/// synchronized sections non-revocable (the paper's volatile rule).
+#[derive(Debug, Default)]
+pub struct VolatileCell {
+    pub(crate) value: Arc<AtomicI64>,
+}
+
+impl Clone for VolatileCell {
+    fn clone(&self) -> Self {
+        VolatileCell { value: Arc::clone(&self.value) }
+    }
+}
+
+impl VolatileCell {
+    /// A new volatile cell.
+    pub fn new(v: i64) -> Self {
+        VolatileCell { value: Arc::new(AtomicI64::new(v)) }
+    }
+
+    /// Lock-free read, allowed anywhere (this is the point of volatile).
+    pub fn load(&self) -> i64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// Unmonitored write (outside any section). For writes inside a
+    /// section use [`Tx::write_volatile`](crate::tx::Tx::write_volatile),
+    /// which applies the non-revocability rule.
+    pub fn store_unsynchronized(&self, v: i64) {
+        self.value.store(v, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcell_clone_shares_storage() {
+        let a = TCell::new(1);
+        let b = a.clone();
+        *a.inner.lock() = 5;
+        assert_eq!(b.read_unsynchronized(), 5);
+    }
+
+    #[test]
+    fn volatile_cell_is_shared_and_atomic() {
+        let v = VolatileCell::new(3);
+        let w = v.clone();
+        v.store_unsynchronized(9);
+        assert_eq!(w.load(), 9);
+    }
+
+    #[test]
+    fn tcell_default() {
+        let c: TCell<i64> = TCell::default();
+        assert_eq!(c.read_unsynchronized(), 0);
+    }
+}

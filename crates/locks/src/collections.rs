@@ -1,0 +1,197 @@
+//! Higher-level constructs composed from revocable monitors —
+//! demonstrating that the paper's primitive supports ordinary
+//! monitor-style libraries unchanged.
+
+use crate::cell::TCell;
+use crate::monitor::RevocableMonitor;
+use crate::tx::Tx;
+use revmon_core::Priority;
+use std::collections::VecDeque;
+
+/// A classic monitor-based bounded FIFO queue (the `wait`/`notify`
+/// textbook example), built on a [`RevocableMonitor`].
+///
+/// Producers and consumers declare a priority per operation; a
+/// low-priority producer caught mid-`push` by a high-priority consumer is
+/// revoked and retried like any other synchronized section. The
+/// `wait`-based blocking paths pin their sections non-revocable
+/// (the library's conservative §2.2 rule), so a parked peer is never
+/// "un-notified".
+///
+/// ```
+/// use revmon_locks::collections::BoundedQueue;
+/// use revmon_core::Priority;
+///
+/// let q = BoundedQueue::new(2);
+/// q.push(Priority::NORM, 1);
+/// q.push(Priority::NORM, 2);
+/// assert_eq!(q.try_push(Priority::NORM, 3), Err(3)); // full
+/// assert_eq!(q.pop(Priority::NORM), 1);
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct BoundedQueue<T: Clone + Send + 'static> {
+    monitor: RevocableMonitor,
+    items: TCell<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T: Clone + Send + 'static> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        BoundedQueue {
+            monitor: RevocableMonitor::new(),
+            items: TCell::new(VecDeque::new()),
+            capacity,
+        }
+    }
+
+    fn read_len(&self, tx: &Tx<'_>) -> usize {
+        tx.read(&self.items).len()
+    }
+
+    /// Blocking push: waits while full.
+    pub fn push(&self, priority: Priority, value: T) {
+        self.monitor.enter(priority, |tx| {
+            while self.read_len(tx) >= self.capacity {
+                tx.wait();
+            }
+            let mut q = tx.read(&self.items);
+            q.push_back(value.clone());
+            tx.write(&self.items, q);
+            tx.notify_all();
+        });
+    }
+
+    /// Non-waiting push; gives the value back if the queue is full.
+    pub fn try_push(&self, priority: Priority, value: T) -> Result<(), T> {
+        let pushed = self.monitor.enter(priority, |tx| {
+            if self.read_len(tx) >= self.capacity {
+                return false;
+            }
+            let mut q = tx.read(&self.items);
+            q.push_back(value.clone());
+            tx.write(&self.items, q);
+            tx.notify_all();
+            true
+        });
+        if pushed {
+            Ok(())
+        } else {
+            Err(value)
+        }
+    }
+
+    /// Blocking pop: waits while empty.
+    pub fn pop(&self, priority: Priority) -> T {
+        self.monitor.enter(priority, |tx| {
+            loop {
+                let mut q = tx.read(&self.items);
+                if let Some(v) = q.pop_front() {
+                    tx.write(&self.items, q);
+                    tx.notify_all();
+                    return v;
+                }
+                tx.wait();
+            }
+        })
+    }
+
+    /// Non-waiting pop.
+    pub fn try_pop(&self, priority: Priority) -> Option<T> {
+        self.monitor.enter(priority, |tx| {
+            let mut q = tx.read(&self.items);
+            let v = q.pop_front();
+            if v.is_some() {
+                tx.write(&self.items, q);
+                tx.notify_all();
+            }
+            v
+        })
+    }
+
+    /// Current length (a synchronized snapshot).
+    pub fn len(&self) -> usize {
+        self.monitor.enter(Priority::NORM, |tx| self.read_len(tx))
+    }
+
+    /// Whether the queue is empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying monitor's statistics.
+    pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        self.monitor.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(Priority::NORM, i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(Priority::NORM), i);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn try_variants_respect_capacity() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.try_push(Priority::NORM, 9), Ok(()));
+        assert_eq!(q.try_push(Priority::NORM, 10), Err(10));
+        assert_eq!(q.try_pop(Priority::NORM), Some(9));
+        assert_eq!(q.try_pop(Priority::NORM), None);
+    }
+
+    #[test]
+    fn producers_and_consumers_transfer_everything() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let total: i64 = 500;
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..total {
+                        q.push(Priority::LOW, p * total + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut sum = 0i64;
+                    for _ in 0..total {
+                        sum += q.pop(Priority::HIGH);
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let got: i64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        let expect: i64 = (0..2 * total).sum();
+        assert_eq!(got, expect, "every pushed item popped exactly once");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<i32>::new(0);
+    }
+}

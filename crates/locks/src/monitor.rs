@@ -1,0 +1,577 @@
+//! The revocable monitor for real OS threads.
+//!
+//! Semantics mirror the paper's revocable monitors on the VM side:
+//!
+//! * **prioritized entry queues** — on release, ownership transfers to
+//!   the highest-priority waiter (FIFO within a class);
+//! * **inversion detection at acquisition** — a contender whose priority
+//!   exceeds the priority deposited by the holder flags the holder's
+//!   outermost section on this monitor for revocation;
+//! * **revocation at yield points** — the holder polls the flag at every
+//!   `Tx` access (and `checkpoint()`), unwinds via the rollback signal,
+//!   restores every logged update *before* releasing the monitor, and
+//!   retries the closure after the high-priority thread has run;
+//! * **policy baselines** — plain blocking, queue-level priority
+//!   inheritance, and priority ceiling are available for comparison.
+//!
+//! Closures passed to [`RevocableMonitor::enter`] may run multiple times;
+//! like any optimistic-execution API, side effects outside the `Tx` must
+//! be idempotent or deferred (use [`Tx::irrevocable`] for native-call-like
+//! effects, which pins the section non-revocable first).
+
+use crate::registry;
+use crate::signal::{as_rollback, RollbackSignal};
+use crate::stats::{MonitorStats, StatsSnapshot};
+use crate::tx::{self, SectionCtx, Tx};
+use parking_lot::Mutex;
+use revmon_core::{InversionPolicy, Priority};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, Thread};
+
+static NEXT_MONITOR_ID: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Debug)]
+struct Waiter {
+    handle: Thread,
+    tid: thread::ThreadId,
+    priority: Priority,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct WaitSetEntry {
+    handle: Thread,
+    notified: Arc<std::sync::atomic::AtomicBool>,
+}
+
+#[derive(Debug, Default)]
+struct MState {
+    owner: Option<thread::ThreadId>,
+    owner_handle: Option<Thread>,
+    /// Priority deposited in the "monitor header" at acquisition (§4).
+    holder_priority: Priority,
+    /// Active sections of the owner on this monitor, outermost first.
+    holder_ctxs: Vec<Arc<SectionCtx>>,
+    recursion: u32,
+    queue: Vec<Waiter>,
+    /// Handoff token: the thread ownership was transferred to.
+    grant: Option<thread::ThreadId>,
+    next_seq: u64,
+    wait_set: Vec<WaitSetEntry>,
+}
+
+/// A monitor whose synchronized sections can be revoked to resolve
+/// priority inversion (and break deadlocks).
+///
+/// ```
+/// use revmon_locks::{RevocableMonitor, TCell};
+/// use revmon_core::Priority;
+///
+/// let m = RevocableMonitor::new();
+/// let balance = TCell::new(100i64);
+/// let got = m.enter(Priority::HIGH, |tx| {
+///     let b = tx.read(&balance);
+///     tx.write(&balance, b - 30);
+///     b - 30
+/// });
+/// assert_eq!(got, 70);
+/// assert_eq!(balance.read_unsynchronized(), 70);
+/// ```
+#[derive(Debug)]
+pub struct RevocableMonitor {
+    id: u64,
+    policy: InversionPolicy,
+    state: Mutex<MState>,
+    pub(crate) stats: MonitorStats,
+}
+
+impl Default for RevocableMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RevocableMonitor {
+    /// A revocation-policy monitor (the paper's mechanism).
+    pub fn new() -> Self {
+        Self::with_policy(InversionPolicy::Revocation)
+    }
+
+    /// A monitor under an explicit policy (blocking / inheritance /
+    /// ceiling baselines).
+    pub fn with_policy(policy: InversionPolicy) -> Self {
+        RevocableMonitor {
+            id: NEXT_MONITOR_ID.fetch_add(1, Ordering::Relaxed),
+            policy,
+            state: Mutex::new(MState::default()),
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// This monitor's policy.
+    pub fn policy(&self) -> InversionPolicy {
+        self.policy
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Execute `f` inside the monitor at `priority`.
+    ///
+    /// Under the revocation policy the closure may execute several times:
+    /// a higher-priority contender can preempt it mid-flight, in which
+    /// case all `Tx` writes are rolled back and `f` re-runs after the
+    /// contender has gone through. A panic from `f` itself (not a
+    /// revocation) keeps the updates, releases the monitor, and
+    /// propagates — Java exception semantics.
+    pub fn enter<R>(&self, priority: Priority, mut f: impl FnMut(&mut Tx<'_>) -> R) -> R {
+        loop {
+            let ctx = self.acquire(priority);
+            let result = {
+                let mut tx = Tx { ctx: Arc::clone(&ctx), monitor: self };
+                catch_unwind(AssertUnwindSafe(|| f(&mut tx)))
+            };
+            match result {
+                Ok(r) => {
+                    self.commit_and_release(&ctx);
+                    return r;
+                }
+                Err(payload) => {
+                    if let Some(sig) = as_rollback(&*payload) {
+                        // Restore shared state *before* releasing (§3.1.2).
+                        let n = ctx.rollback();
+                        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .entries_rolled_back
+                            .fetch_add(n as u64, Ordering::Relaxed);
+                        self.release(&ctx);
+                        let _ = tx::pop_section();
+                        if sig.target == ctx.id {
+                            // This frame is the revocation target: retry.
+                            // (Ownership was handed to the queue head —
+                            // the high-priority thread — so our re-entry
+                            // queues behind it, as in Fig. 1(d–e).)
+                            continue;
+                        }
+                        // An enclosing section is the target: keep
+                        // unwinding, like the injected handlers re-throw.
+                        resume_unwind(payload);
+                    }
+                    // Genuine user panic: Java semantics — the updates
+                    // stand, the monitor is released, the panic continues.
+                    self.commit_and_release(&ctx);
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    /// Like [`enter`](Self::enter) at [`Priority::NORM`].
+    pub fn enter_norm<R>(&self, f: impl FnMut(&mut Tx<'_>) -> R) -> R {
+        self.enter(Priority::NORM, f)
+    }
+
+    /// Non-blocking [`enter`](Self::enter): run `f` only if the monitor
+    /// is immediately available (or already held by this thread).
+    ///
+    /// Returns `None` without running `f` when the monitor is busy — and
+    /// also when the section was *revoked* mid-flight and the monitor was
+    /// no longer free on retry (the closure's effects are rolled back, so
+    /// `None` always means "nothing happened").
+    pub fn try_enter<R>(&self, priority: Priority, mut f: impl FnMut(&mut Tx<'_>) -> R) -> Option<R> {
+        loop {
+            let ctx = self.try_acquire(priority)?;
+            let result = {
+                let mut tx = Tx { ctx: Arc::clone(&ctx), monitor: self };
+                catch_unwind(AssertUnwindSafe(|| f(&mut tx)))
+            };
+            match result {
+                Ok(r) => {
+                    self.commit_and_release(&ctx);
+                    return Some(r);
+                }
+                Err(payload) => {
+                    if let Some(sig) = as_rollback(&*payload) {
+                        let n = ctx.rollback();
+                        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .entries_rolled_back
+                            .fetch_add(n as u64, Ordering::Relaxed);
+                        self.release(&ctx);
+                        let _ = tx::pop_section();
+                        if sig.target == ctx.id {
+                            continue; // retry without blocking
+                        }
+                        resume_unwind(payload);
+                    }
+                    self.commit_and_release(&ctx);
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    /// Take the monitor only if free (or reentrant). No queueing.
+    fn try_acquire(&self, priority: Priority) -> Option<Arc<SectionCtx>> {
+        let me = thread::current();
+        let eff = self.effective(priority);
+        let mut s = self.state.lock();
+        if s.owner == Some(me.id()) {
+            s.recursion += 1;
+            let ctx = SectionCtx::new(self.id);
+            s.holder_ctxs.push(Arc::clone(&ctx));
+            drop(s);
+            tx::push_section(Arc::clone(&ctx));
+            self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+            return Some(ctx);
+        }
+        if s.owner.is_some() || s.grant.is_some() {
+            return None;
+        }
+        s.owner = Some(me.id());
+        s.owner_handle = Some(me.clone());
+        s.recursion = 1;
+        s.holder_priority = eff;
+        let ctx = SectionCtx::new(self.id);
+        s.holder_ctxs = vec![Arc::clone(&ctx)];
+        drop(s);
+        tx::push_section(Arc::clone(&ctx));
+        registry::on_acquire(self.id, me, eff, Arc::clone(&ctx));
+        self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+        Some(ctx)
+    }
+
+    // ------------------------------------------------------------ internals
+
+    fn effective(&self, priority: Priority) -> Priority {
+        match self.policy {
+            InversionPolicy::PriorityCeiling(c) => priority.max_of(c),
+            _ => priority,
+        }
+    }
+
+    /// Acquire the monitor (blocking), push the new section, and return
+    /// its context. Unwinds with a rollback signal if this thread is
+    /// revoked while parked (deadlock victim / enclosing-section
+    /// revocation).
+    fn acquire(&self, priority: Priority) -> Arc<SectionCtx> {
+        let me = thread::current();
+        let eff = self.effective(priority);
+        if eff > priority {
+            self.stats.priority_boosts.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut counted_contended = false;
+        let mut enqueued = false;
+        let mut s = self.state.lock();
+        loop {
+            // Reentrant fast path.
+            if s.owner == Some(me.id()) {
+                s.recursion += 1;
+                let ctx = SectionCtx::new(self.id);
+                s.holder_ctxs.push(Arc::clone(&ctx));
+                drop(s);
+                tx::push_section(Arc::clone(&ctx));
+                self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+                return ctx;
+            }
+            // Free (and not reserved for someone else) or granted to us.
+            let granted = s.grant == Some(me.id());
+            if granted || (s.owner.is_none() && s.grant.is_none()) {
+                if granted {
+                    s.grant = None;
+                }
+                s.owner = Some(me.id());
+                s.owner_handle = Some(me.clone());
+                s.recursion = 1;
+                s.holder_priority = eff;
+                let ctx = SectionCtx::new(self.id);
+                s.holder_ctxs = vec![Arc::clone(&ctx)];
+                if enqueued {
+                    s.queue.retain(|w| w.tid != me.id());
+                }
+                // Detection at acquisition, holder side: a higher-priority
+                // waiter may have queued while this grant was in flight —
+                // it must not sit out our whole section. Self-flag so the
+                // first yield point rolls us (cheaply, log still empty)
+                // back behind it.
+                if matches!(self.policy, InversionPolicy::Revocation) {
+                    if let Some(top) = s.queue.iter().map(|w| w.priority).max() {
+                        if top > eff {
+                            ctx.revoke.store(true, Ordering::Release);
+                            self.stats
+                                .revocations_requested
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                drop(s);
+                tx::push_section(Arc::clone(&ctx));
+                registry::on_unblock(me.id());
+                registry::on_acquire(self.id, me.clone(), eff, Arc::clone(&ctx));
+                self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+                return ctx;
+            }
+            // Contended.
+            if !counted_contended {
+                self.stats.contended.fetch_add(1, Ordering::Relaxed);
+                counted_contended = true;
+            }
+            match self.policy {
+                InversionPolicy::Revocation => {
+                    if eff > s.holder_priority {
+                        if let Some(target) = s.holder_ctxs.first() {
+                            if target.revocable() {
+                                if !target.revoke.swap(true, Ordering::AcqRel) {
+                                    self.stats
+                                        .revocations_requested
+                                        .fetch_add(1, Ordering::Relaxed);
+                                }
+                                // Wake the holder wherever it is parked so
+                                // it reaches a yield point promptly.
+                                if let Some(h) = &s.owner_handle {
+                                    h.unpark();
+                                }
+                            } else {
+                                self.stats
+                                    .inversions_unresolved
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                InversionPolicy::PriorityInheritance => {
+                    if eff > s.holder_priority {
+                        // Queue-level inheritance: raise the deposited
+                        // priority so the holder wins queues it waits in
+                        // and is not preempted by mid-priority contenders.
+                        s.holder_priority = eff;
+                        self.stats.priority_boosts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                InversionPolicy::Blocking | InversionPolicy::PriorityCeiling(_) => {}
+            }
+            if !enqueued {
+                let seq = s.next_seq;
+                s.next_seq += 1;
+                s.queue.push(Waiter {
+                    handle: me.clone(),
+                    tid: me.id(),
+                    priority: eff,
+                    seq,
+                });
+                enqueued = true;
+                drop(s);
+                registry::on_block(self.id, me.clone(), eff);
+            } else {
+                drop(s);
+            }
+            thread::park();
+            // Woken: revoked while parked? (deadlock victim, or an
+            // enclosing section flagged by another monitor's contender)
+            if let Some(target) = tx::outermost_flagged() {
+                let mut s2 = self.state.lock();
+                s2.queue.retain(|w| w.tid != me.id());
+                if s2.grant == Some(me.id()) {
+                    // We were simultaneously granted: pass it on.
+                    s2.grant = None;
+                    self.grant_next(&mut s2);
+                }
+                drop(s2);
+                registry::on_unblock(me.id());
+                resume_unwind(Box::new(RollbackSignal { target }));
+            }
+            s = self.state.lock();
+        }
+    }
+
+    /// Commit the section's undo entries (into the parent section, or
+    /// discard at the outermost level) and release one recursion level.
+    fn commit_and_release(&self, ctx: &Arc<SectionCtx>) {
+        let popped = tx::pop_section();
+        debug_assert!(popped.map(|c| c.id) == Some(ctx.id), "unbalanced section stack");
+        let parent = tx::top_section();
+        ctx.commit_into(parent.as_deref());
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        self.release(ctx);
+    }
+
+    /// Release one recursion level; on full release hand off to the
+    /// highest-priority waiter.
+    fn release(&self, ctx: &Arc<SectionCtx>) {
+        let mut s = self.state.lock();
+        if let Some(pos) = s.holder_ctxs.iter().position(|c| c.id == ctx.id) {
+            s.holder_ctxs.remove(pos);
+        }
+        s.recursion = s.recursion.saturating_sub(1);
+        if s.recursion > 0 {
+            return;
+        }
+        s.owner = None;
+        s.owner_handle = None;
+        self.grant_next(&mut s);
+        drop(s);
+        registry::on_release(self.id);
+    }
+
+    /// Transfer ownership to the best waiter: highest priority, FIFO
+    /// within a class (§4's prioritized monitor queues).
+    fn grant_next(&self, s: &mut MState) {
+        let Some(best) = s
+            .queue
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq))
+            })
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let w = s.queue.remove(best);
+        s.grant = Some(w.tid);
+        w.handle.unpark();
+    }
+
+    /// `Object.wait` for the current holder (called via [`Tx::wait`]).
+    pub(crate) fn wait_current(&self, ctx: &Arc<SectionCtx>) {
+        // Conservative §2.2 treatment: waiting pins every enclosing
+        // section non-revocable.
+        let flipped = tx::mark_all_nonrevocable();
+        self.stats.nonrevocable_marks.fetch_add(flipped, Ordering::Relaxed);
+        let me = thread::current();
+        let notified = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (rec, saved_ctxs, prio) = {
+            let mut s = self.state.lock();
+            assert_eq!(s.owner, Some(me.id()), "wait on an unowned monitor");
+            let rec = s.recursion;
+            let prio = s.holder_priority;
+            let saved = std::mem::take(&mut s.holder_ctxs);
+            s.recursion = 0;
+            s.owner = None;
+            s.owner_handle = None;
+            s.wait_set.push(WaitSetEntry {
+                handle: me.clone(),
+                notified: Arc::clone(&notified),
+            });
+            self.grant_next(&mut s);
+            (rec, saved, prio)
+        };
+        registry::on_release(self.id);
+        while !notified.load(Ordering::Acquire) {
+            thread::park();
+        }
+        // Re-acquire to the saved depth through the prioritized queue.
+        let mut enqueued = false;
+        let mut s = self.state.lock();
+        loop {
+            let granted = s.grant == Some(me.id());
+            if granted || (s.owner.is_none() && s.grant.is_none()) {
+                if granted {
+                    s.grant = None;
+                }
+                s.owner = Some(me.id());
+                s.owner_handle = Some(me.clone());
+                s.recursion = rec;
+                s.holder_priority = prio;
+                s.holder_ctxs = saved_ctxs;
+                if enqueued {
+                    s.queue.retain(|w| w.tid != me.id());
+                }
+                drop(s);
+                registry::on_unblock(me.id());
+                registry::on_acquire(self.id, me, prio, Arc::clone(ctx));
+                return;
+            }
+            if !enqueued {
+                let seq = s.next_seq;
+                s.next_seq += 1;
+                s.queue.push(Waiter { handle: me.clone(), tid: me.id(), priority: prio, seq });
+                enqueued = true;
+                drop(s);
+                registry::on_block(self.id, me.clone(), prio);
+            } else {
+                drop(s);
+            }
+            thread::park();
+            s = self.state.lock();
+        }
+    }
+
+    /// Wake one or all waiters (they re-contend for the monitor).
+    pub(crate) fn notify(&self, all: bool) {
+        let mut s = self.state.lock();
+        assert_eq!(
+            s.owner,
+            Some(thread::current().id()),
+            "notify on an unowned monitor"
+        );
+        if all {
+            for w in s.wait_set.drain(..) {
+                w.notified.store(true, Ordering::Release);
+                w.handle.unpark();
+            }
+        } else if !s.wait_set.is_empty() {
+            let w = s.wait_set.remove(0);
+            w.notified.store(true, Ordering::Release);
+            w.handle.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::TCell;
+
+    #[test]
+    fn uncontended_enter_commits() {
+        let m = RevocableMonitor::new();
+        let c = TCell::new(0i64);
+        let out = m.enter(Priority::NORM, |tx| {
+            tx.write(&c, 5);
+            tx.read(&c)
+        });
+        assert_eq!(out, 5);
+        assert_eq!(c.read_unsynchronized(), 5);
+        let st = m.stats();
+        assert_eq!(st.acquires, 1);
+        assert_eq!(st.commits, 1);
+        assert_eq!(st.rollbacks, 0);
+    }
+
+    #[test]
+    fn reentrant_enter_works() {
+        let m = RevocableMonitor::new();
+        let c = TCell::new(0i64);
+        m.enter(Priority::NORM, |tx| {
+            tx.write(&c, 1);
+            m.enter(Priority::NORM, |tx2| {
+                tx2.update(&c, |v| v + 10);
+            });
+            tx.update(&c, |v| v + 100);
+        });
+        assert_eq!(c.read_unsynchronized(), 111);
+        assert_eq!(m.stats().acquires, 2);
+    }
+
+    #[test]
+    fn user_panic_keeps_updates_and_releases() {
+        let m = RevocableMonitor::new();
+        let c = TCell::new(0i64);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            m.enter(Priority::NORM, |tx| {
+                tx.write(&c, 7);
+                panic!("user bug");
+            })
+        }));
+        assert!(r.is_err());
+        assert_eq!(c.read_unsynchronized(), 7, "Java semantics: updates kept");
+        // monitor is free again
+        m.enter(Priority::NORM, |tx| tx.write(&c, 8));
+        assert_eq!(c.read_unsynchronized(), 8);
+    }
+}

@@ -1,0 +1,152 @@
+//! Global registry: waits-for graph over OS threads for deadlock
+//! detection and victim revocation.
+//!
+//! The registry is consulted only on the slow paths (blocking,
+//! acquisition handoff) and never while a monitor's own state lock is
+//! held, which gives a simple global lock order (monitor state ≺
+//! registry) and keeps the fast path lock-free of global state.
+//!
+//! Victim flagging touches only the victim's `SectionCtx` atomics and its
+//! `Thread` handle (unpark), so the breaker never needs another monitor's
+//! state lock.
+
+use crate::tx::SectionCtx;
+use parking_lot::Mutex;
+use revmon_core::{MonitorId, Priority, ThreadId, WaitsForGraph};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::Thread;
+
+/// Global deadlock counters (library-wide, since cycles span monitors).
+pub static DEADLOCKS_DETECTED: AtomicU64 = AtomicU64::new(0);
+/// Deadlocks broken by revoking a victim.
+pub static DEADLOCKS_BROKEN: AtomicU64 = AtomicU64::new(0);
+
+struct HolderInfo {
+    thread: ThreadId,
+    handle: Thread,
+    priority: Priority,
+    /// Outermost section of the holder on this monitor — the revocation
+    /// target for deadlock breaking.
+    ctx: Arc<SectionCtx>,
+}
+
+#[derive(Default)]
+struct Registry {
+    graph: WaitsForGraph,
+    ids: HashMap<std::thread::ThreadId, ThreadId>,
+    next_id: u32,
+    holders: HashMap<u64, HolderInfo>,
+}
+
+impl Registry {
+    fn dense_id(&mut self, t: std::thread::ThreadId) -> ThreadId {
+        if let Some(&id) = self.ids.get(&t) {
+            return id;
+        }
+        let id = ThreadId(self.next_id);
+        self.next_id += 1;
+        self.ids.insert(t, id);
+        id
+    }
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static R: OnceLock<Mutex<Registry>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn mid(monitor_id: u64) -> MonitorId {
+    MonitorId(monitor_id as u32)
+}
+
+/// Record that the current thread took ownership of `monitor_id`
+/// (outermost acquisition only), and re-point stale waiter edges.
+pub(crate) fn on_acquire(
+    monitor_id: u64,
+    handle: Thread,
+    priority: Priority,
+    ctx: Arc<SectionCtx>,
+) {
+    let mut r = registry().lock();
+    let me = r.dense_id(handle.id());
+    r.holders.insert(monitor_id, HolderInfo { thread: me, handle, priority, ctx });
+    r.graph.retarget_monitor(mid(monitor_id), me);
+}
+
+/// Record full release of `monitor_id`.
+pub(crate) fn on_release(monitor_id: u64) {
+    registry().lock().holders.remove(&monitor_id);
+}
+
+/// Record that `handle`'s thread blocked on `monitor_id`; detect and
+/// break any deadlock cycle this closes. Returns whether a victim was
+/// flagged (diagnostics).
+pub(crate) fn on_block(monitor_id: u64, handle: Thread, _priority: Priority) -> bool {
+    let mut r = registry().lock();
+    let me = r.dense_id(handle.id());
+    let Some(owner) = r.holders.get(&monitor_id).map(|h| h.thread) else {
+        // Monitor between owners (grant in flight): no edge to record;
+        // the next on_acquire will retarget if we are still queued.
+        return false;
+    };
+    if owner == me {
+        return false;
+    }
+    r.graph.add_wait(me, mid(monitor_id), owner);
+    let Some(cycle) = r.graph.find_cycle_from(me) else {
+        return false;
+    };
+    DEADLOCKS_DETECTED.fetch_add(1, Ordering::Relaxed);
+    // Victim: lowest-priority (youngest on ties) member holding a
+    // *revocable* section on the monitor its predecessor waits for.
+    let mut candidates: Vec<(Priority, std::cmp::Reverse<u32>, u64)> = Vec::new();
+    for &v in &cycle {
+        let Some(pred_edge) = cycle
+            .iter()
+            .filter_map(|&p| r.graph.edge_of(p))
+            .find(|e| e.owner == v)
+        else {
+            continue;
+        };
+        let held_monitor = pred_edge.monitor.0 as u64;
+        let Some(h) = r.holders.get(&held_monitor) else { continue };
+        if h.thread != v || !h.ctx.revocable() || h.ctx.revoke.load(Ordering::Acquire) {
+            continue;
+        }
+        candidates.push((h.priority, std::cmp::Reverse(v.0), held_monitor));
+    }
+    candidates.sort();
+    let Some(&(_, _, victim_monitor)) = candidates.first() else {
+        return false; // unbreakable (all non-revocable): threads stay blocked
+    };
+    let h = r.holders.get(&victim_monitor).expect("candidate came from holders");
+    h.ctx.revoke.store(true, Ordering::Release);
+    h.handle.unpark();
+    DEADLOCKS_BROKEN.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// Record that `thread` stopped waiting (granted, or revoked out of the
+/// queue).
+pub(crate) fn on_unblock(thread: std::thread::ThreadId) {
+    let mut r = registry().lock();
+    if let Some(&id) = r.ids.get(&thread) {
+        r.graph.remove_wait(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ids_are_stable() {
+        let mut r = Registry::default();
+        let t = std::thread::current().id();
+        let a = r.dense_id(t);
+        let b = r.dense_id(t);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+//! The rollback signal: the library analogue of the paper's internal
+//! rollback exception (§3.1.1).
+//!
+//! Revocation unwinds the holder's closure with a panic payload carrying
+//! the *target section id*. Every `enter` frame catches it: the frame
+//! whose section matches rolls back and retries; inner frames roll back,
+//! release, and re-throw — exactly the injected-handler protocol, with
+//! `catch_unwind` standing in for the injected bytecode handlers and the
+//! panic machinery for the modified exception propagation (user code
+//! cannot intercept the payload type, mirroring the rule that `finally`
+//! blocks and `catch (Throwable)` are skipped during rollback).
+
+use std::any::Any;
+
+/// Panic payload for an in-flight revocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RollbackSignal {
+    /// Section id whose `enter` frame must absorb the signal and retry.
+    pub target: u64,
+}
+
+/// Extract a `RollbackSignal` from a caught panic payload.
+pub(crate) fn as_rollback(payload: &(dyn Any + Send)) -> Option<RollbackSignal> {
+    payload.downcast_ref::<RollbackSignal>().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+
+    #[test]
+    fn signal_roundtrips_through_unwind() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            panic_any(RollbackSignal { target: 42 });
+        }))
+        .unwrap_err();
+        assert_eq!(as_rollback(&*err), Some(RollbackSignal { target: 42 }));
+    }
+
+    #[test]
+    fn signal_roundtrips_through_resume_unwind_without_hook() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            std::panic::resume_unwind(Box::new(RollbackSignal { target: 7 }));
+        }))
+        .unwrap_err();
+        assert_eq!(as_rollback(&*err), Some(RollbackSignal { target: 7 }));
+    }
+
+    #[test]
+    fn ordinary_panics_are_not_signals() {
+        let err = catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(as_rollback(&*err), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! Per-monitor counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters of one monitor.
+#[derive(Debug, Default)]
+pub(crate) struct MonitorStats {
+    pub acquires: AtomicU64,
+    pub contended: AtomicU64,
+    pub revocations_requested: AtomicU64,
+    pub rollbacks: AtomicU64,
+    pub entries_rolled_back: AtomicU64,
+    pub commits: AtomicU64,
+    pub inversions_unresolved: AtomicU64,
+    pub log_entries: AtomicU64,
+    pub nonrevocable_marks: AtomicU64,
+    pub deadlocks_broken: AtomicU64,
+    pub priority_boosts: AtomicU64,
+}
+
+/// A point-in-time copy of a monitor's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Successful acquisitions (uncontended + granted + reentrant).
+    pub acquires: u64,
+    /// Blocking episodes on the entry queue.
+    pub contended: u64,
+    /// Revocation flags raised against holders of this monitor.
+    pub revocations_requested: u64,
+    /// Sections of this monitor rolled back.
+    pub rollbacks: u64,
+    /// Undo entries restored by those rollbacks.
+    pub entries_rolled_back: u64,
+    /// Sections committed.
+    pub commits: u64,
+    /// Inversions left unresolved (holder non-revocable).
+    pub inversions_unresolved: u64,
+    /// Undo-log entries written (write-barrier slow paths).
+    pub log_entries: u64,
+    /// Sections marked non-revocable.
+    pub nonrevocable_marks: u64,
+    /// Deadlocks broken by revoking a holder of this monitor.
+    pub deadlocks_broken: u64,
+    /// Priority-inheritance / ceiling boosts applied.
+    pub priority_boosts: u64,
+}
+
+impl MonitorStats {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            acquires: self.acquires.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            revocations_requested: self.revocations_requested.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            entries_rolled_back: self.entries_rolled_back.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            inversions_unresolved: self.inversions_unresolved.load(Ordering::Relaxed),
+            log_entries: self.log_entries.load(Ordering::Relaxed),
+            nonrevocable_marks: self.nonrevocable_marks.load(Ordering::Relaxed),
+            deadlocks_broken: self.deadlocks_broken.load(Ordering::Relaxed),
+            priority_boosts: self.priority_boosts.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Transactions: the per-section context, undo log, and the `Tx` handle
+//! passed to `enter` closures.
+//!
+//! Every shared-data access through a [`Tx`] doubles as a *yield point*:
+//! it polls the revocation flags of all enclosing sections (the library
+//! analogue of the VM checking `pending_revoke` at compiler-inserted
+//! yield points) and, when flagged, unwinds with a rollback signal
+//! targeted at the outermost flagged section.
+
+use crate::cell::{TCell, VolatileCell};
+use crate::signal::RollbackSignal;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_SECTION_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One restore action (applied newest-first on rollback).
+type UndoEntry = Box<dyn FnOnce() + Send>;
+
+/// Shared state of one active synchronized-section execution.
+pub(crate) struct SectionCtx {
+    /// Unique per-execution id (the paper's acquisition identity).
+    pub id: u64,
+    /// Monitor this section synchronizes on.
+    pub monitor_id: u64,
+    /// Set by a higher-priority contender (or the deadlock breaker).
+    pub revoke: AtomicBool,
+    /// Set by `wait`, `write_volatile`, or `irrevocable()`.
+    pub non_revocable: AtomicBool,
+    /// The sequential undo buffer (restore closures, §3.1.2).
+    pub undo: Mutex<Vec<UndoEntry>>,
+}
+
+impl std::fmt::Debug for SectionCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SectionCtx")
+            .field("id", &self.id)
+            .field("monitor_id", &self.monitor_id)
+            .field("revoke", &self.revoke)
+            .field("non_revocable", &self.non_revocable)
+            .field("undo_len", &self.undo.lock().len())
+            .finish()
+    }
+}
+
+impl SectionCtx {
+    pub fn new(monitor_id: u64) -> Arc<Self> {
+        Arc::new(SectionCtx {
+            id: NEXT_SECTION_ID.fetch_add(1, Ordering::Relaxed),
+            monitor_id,
+            revoke: AtomicBool::new(false),
+            non_revocable: AtomicBool::new(false),
+            undo: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Whether this execution can currently be revoked.
+    pub fn revocable(&self) -> bool {
+        !self.non_revocable.load(Ordering::Acquire)
+    }
+
+    /// Apply the undo log newest-first, emptying it.
+    pub fn rollback(&self) -> usize {
+        let mut log = self.undo.lock();
+        let n = log.len();
+        while let Some(restore) = log.pop() {
+            restore();
+        }
+        n
+    }
+
+    /// Commit: move this section's undo entries into `parent` (they stay
+    /// revocable until the *outermost* section exits, exactly as the
+    /// paper keeps the whole log until the outermost `monitorexit`), or
+    /// drop them when this is the outermost section.
+    pub fn commit_into(&self, parent: Option<&SectionCtx>) -> usize {
+        let mut log = self.undo.lock();
+        let n = log.len();
+        match parent {
+            Some(p) => p.undo.lock().extend(log.drain(..)),
+            None => log.clear(),
+        }
+        n
+    }
+}
+
+thread_local! {
+    /// Active sections of the current thread, outermost first.
+    static SECTIONS: RefCell<Vec<Arc<SectionCtx>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Push a freshly-entered section onto the thread-local stack.
+pub(crate) fn push_section(ctx: Arc<SectionCtx>) {
+    SECTIONS.with(|s| s.borrow_mut().push(ctx));
+}
+
+/// Pop the innermost section (at `enter` exit, normal or unwinding).
+pub(crate) fn pop_section() -> Option<Arc<SectionCtx>> {
+    SECTIONS.with(|s| s.borrow_mut().pop())
+}
+
+/// The current innermost section (after popping a committed section this
+/// is its parent — the commit target for nested commits).
+pub(crate) fn top_section() -> Option<Arc<SectionCtx>> {
+    SECTIONS.with(|s| s.borrow().last().map(Arc::clone))
+}
+
+/// Depth of section nesting on the current thread (0 outside any
+/// synchronized section). Exposed for diagnostics.
+pub fn section_depth() -> usize {
+    SECTIONS.with(|s| s.borrow().len())
+}
+
+/// The outermost *flagged and revocable* section, if any — the rollback
+/// target a yield point must unwind to.
+pub(crate) fn outermost_flagged() -> Option<u64> {
+    SECTIONS.with(|s| {
+        s.borrow()
+            .iter()
+            .find(|c| c.revoke.load(Ordering::Acquire) && c.revocable())
+            .map(|c| c.id)
+    })
+}
+
+/// Poll revocation flags; unwind with a rollback signal when flagged.
+/// This is the library's yield point, called from every `Tx` data access
+/// and exposed as [`Tx::checkpoint`] for long compute stretches.
+///
+/// Uses `resume_unwind` rather than `panic_any`: the signal is control
+/// flow (always caught by an `enter` frame), so the process-global panic
+/// hook must not fire for it.
+pub(crate) fn poll_revocation() {
+    if let Some(target) = outermost_flagged() {
+        resume_unwind(Box::new(RollbackSignal { target }));
+    }
+}
+
+/// Mark every enclosing section non-revocable (native-effect /
+/// volatile-write / wait rules of §2.2). Returns how many flipped.
+pub(crate) fn mark_all_nonrevocable() -> u64 {
+    SECTIONS.with(|s| {
+        let mut flipped = 0;
+        for c in s.borrow().iter() {
+            if !c.non_revocable.swap(true, Ordering::AcqRel) {
+                flipped += 1;
+            }
+        }
+        flipped
+    })
+}
+
+/// The transaction handle passed to `enter` closures.
+///
+/// Carries no data itself — it witnesses that the current thread holds
+/// the monitor, and routes all shared accesses through the write-barrier
+/// (undo logging) and yield-point (revocation polling) machinery.
+pub struct Tx<'m> {
+    pub(crate) ctx: Arc<SectionCtx>,
+    pub(crate) monitor: &'m crate::monitor::RevocableMonitor,
+}
+
+impl Tx<'_> {
+    /// Read a cell. A yield point.
+    pub fn read<T: Clone + Send + 'static>(&self, cell: &TCell<T>) -> T {
+        poll_revocation();
+        cell.inner.lock().clone()
+    }
+
+    /// Write a cell, logging the old value for rollback. A yield point.
+    pub fn write<T: Clone + Send + 'static>(&self, cell: &TCell<T>, v: T) {
+        poll_revocation();
+        let inner = Arc::clone(&cell.inner);
+        let old = std::mem::replace(&mut *inner.lock(), v);
+        self.ctx.undo.lock().push(Box::new(move || {
+            *inner.lock() = old;
+        }));
+        self.monitor.stats.log_entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Update a cell in place (read-modify-write). A yield point.
+    pub fn update<T: Clone + Send + 'static>(&self, cell: &TCell<T>, f: impl FnOnce(T) -> T) {
+        let v = self.read(cell);
+        self.write(cell, f(v));
+    }
+
+    /// Read a volatile cell (always allowed, lock-free).
+    pub fn read_volatile(&self, cell: &VolatileCell) -> i64 {
+        poll_revocation();
+        cell.load()
+    }
+
+    /// Write a volatile cell from inside the section. Publishes the value
+    /// immediately to unmonitored readers, so every enclosing section
+    /// becomes **non-revocable** (§2.2, Fig. 3) — the write is *not*
+    /// undone by a rollback that can no longer happen.
+    pub fn write_volatile(&self, cell: &VolatileCell, v: i64) {
+        poll_revocation();
+        let flipped = mark_all_nonrevocable();
+        self.monitor
+            .stats
+            .nonrevocable_marks
+            .fetch_add(flipped, Ordering::Relaxed);
+        cell.value.store(v, Ordering::SeqCst);
+    }
+
+    /// Explicit yield point for long monitor-protected compute stretches
+    /// with no data accesses (the analogue of loop back-edge yield
+    /// points).
+    pub fn checkpoint(&self) {
+        poll_revocation();
+    }
+
+    /// Declare an irrevocable effect (the analogue of a native call):
+    /// every enclosing section becomes non-revocable, after which the
+    /// closure can safely perform I/O or other non-undoable work.
+    pub fn irrevocable(&self) {
+        let flipped = mark_all_nonrevocable();
+        self.monitor
+            .stats
+            .nonrevocable_marks
+            .fetch_add(flipped, Ordering::Relaxed);
+    }
+
+    /// `Object.wait()`: release the monitor and park until notified.
+    ///
+    /// Conservative revocability rule: the section (and its enclosing
+    /// ones) become non-revocable — a superset of the paper's rule, which
+    /// additionally permits post-`wait` restart points for non-nested
+    /// waits (implemented in the VM; kept simple here).
+    pub fn wait(&self) {
+        self.monitor.wait_current(&self.ctx);
+    }
+
+    /// `Object.notify()`.
+    pub fn notify_one(&self) {
+        self.monitor.notify(false);
+    }
+
+    /// `Object.notifyAll()`.
+    pub fn notify_all(&self) {
+        self.monitor.notify(true);
+    }
+
+    /// Whether this execution is still revocable (diagnostics).
+    pub fn is_revocable(&self) -> bool {
+        self.ctx.revocable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollback_applies_undo_newest_first() {
+        let ctx = SectionCtx::new(1);
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let t = Arc::clone(&trace);
+            ctx.undo.lock().push(Box::new(move || t.lock().push(i)));
+        }
+        assert_eq!(ctx.rollback(), 3);
+        assert_eq!(*trace.lock(), vec![2, 1, 0]);
+        assert_eq!(ctx.rollback(), 0, "log emptied");
+    }
+
+    #[test]
+    fn nested_commit_moves_entries_to_parent() {
+        let outer = SectionCtx::new(1);
+        let inner = SectionCtx::new(1);
+        inner.undo.lock().push(Box::new(|| {}));
+        inner.undo.lock().push(Box::new(|| {}));
+        assert_eq!(inner.commit_into(Some(&outer)), 2);
+        assert_eq!(outer.undo.lock().len(), 2);
+        assert_eq!(inner.undo.lock().len(), 0);
+    }
+
+    #[test]
+    fn outermost_commit_drops_entries() {
+        let ctx = SectionCtx::new(1);
+        ctx.undo.lock().push(Box::new(|| {}));
+        assert_eq!(ctx.commit_into(None), 1);
+        assert_eq!(ctx.undo.lock().len(), 0);
+    }
+
+    #[test]
+    fn section_ids_are_unique() {
+        let a = SectionCtx::new(1);
+        let b = SectionCtx::new(1);
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn flagged_nonrevocable_sections_are_skipped() {
+        let ctx = SectionCtx::new(1);
+        ctx.revoke.store(true, Ordering::Release);
+        ctx.non_revocable.store(true, Ordering::Release);
+        push_section(Arc::clone(&ctx));
+        assert_eq!(outermost_flagged(), None);
+        pop_section();
+    }
+
+    #[test]
+    fn outermost_flagged_prefers_outer() {
+        let outer = SectionCtx::new(1);
+        let inner = SectionCtx::new(2);
+        outer.revoke.store(true, Ordering::Release);
+        inner.revoke.store(true, Ordering::Release);
+        push_section(Arc::clone(&outer));
+        push_section(Arc::clone(&inner));
+        assert_eq!(outermost_flagged(), Some(outer.id));
+        pop_section();
+        pop_section();
+    }
+}

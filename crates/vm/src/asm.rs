@@ -1,0 +1,574 @@
+//! A textual assembly format for the mini-ISA, so programs can live in
+//! `.rvm` files and be run/disassembled/verified from the command line
+//! (see the `revmon-cli` crate).
+//!
+//! ```text
+//! ; counter.rvm — two workers under one lock
+//! .statics 1
+//!
+//! .method worker params=1 locals=2
+//!     sync l0 {
+//!         const 0
+//!         store l1
+//!     loop:
+//!         load l1
+//!         const 500
+//!         if_ge done
+//!         getstatic s0
+//!         const 1
+//!         add
+//!         putstatic s0
+//!         load l1
+//!         const 1
+//!         add
+//!         store l1
+//!         goto loop
+//!     done:
+//!     }
+//!     retvoid
+//! .end
+//!
+//! .method main params=0 locals=1
+//!     new class=0 fields=0
+//!     store l0
+//!     load l0
+//!     const 8        ; priority
+//!     spawn worker
+//!     load l0
+//!     const 2
+//!     spawn worker
+//!     join
+//!     join
+//!     retvoid
+//! .end
+//! ```
+//!
+//! Directives: `.statics N`, `.volatile N`, `.method NAME params=N
+//! locals=N [synchronized]` … `.end`, `.handler START END TARGET
+//! class=N|all` (labels). Labels end with `:`; `sync lN { … }` blocks
+//! emit the monitor bracketing and record the region metadata the
+//! rewrite pass needs. Comments run from `;` to end of line.
+
+use crate::bytecode::{CatchKind, Handler, Insn, Method, MethodId, NativeOp, Program, SyncRegion};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// Parse assembly text into a [`Program`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: method name table (for forward call/spawn references).
+    let mut names: HashMap<String, MethodId> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = strip(raw);
+        if let Some(rest) = line.strip_prefix(".method") {
+            let name = rest
+                .split_whitespace()
+                .next()
+                .ok_or_else(|| err(i + 1, ".method needs a name"))?;
+            if names.contains_key(name) {
+                return Err(err(i + 1, format!("duplicate method `{name}`")));
+            }
+            names.insert(name.to_string(), MethodId(order.len() as u32));
+            order.push(name.to_string());
+        }
+    }
+
+    let mut n_statics: u32 = 0;
+    let mut volatile_statics: Vec<u32> = Vec::new();
+    let mut methods: Vec<Option<Method>> = vec![None; order.len()];
+    let mut cur: Option<MethodAsm> = None;
+
+    for (i, raw) in src.lines().enumerate() {
+        let ln = i + 1;
+        let line = strip(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".statics") {
+            n_statics = n_statics.max(parse_num(rest.trim(), ln)? as u32);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".volatile") {
+            let s = parse_num(rest.trim(), ln)? as u32;
+            volatile_statics.push(s);
+            n_statics = n_statics.max(s + 1);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".method") {
+            if cur.is_some() {
+                return Err(err(ln, ".method inside a method (missing .end?)"));
+            }
+            cur = Some(MethodAsm::start(rest, ln)?);
+            continue;
+        }
+        if line == ".end" {
+            let m = cur.take().ok_or_else(|| err(ln, ".end outside a method"))?;
+            let (name, method) = m.finish(ln)?;
+            let id = names[&name];
+            methods[id.index()] = Some(method);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".handler") {
+            let m = cur.as_mut().ok_or_else(|| err(ln, ".handler outside a method"))?;
+            m.handler_directive(rest, ln)?;
+            continue;
+        }
+        let m = cur
+            .as_mut()
+            .ok_or_else(|| err(ln, format!("code outside a method: `{line}`")))?;
+        m.line(line, ln, &names)?;
+    }
+    if cur.is_some() {
+        return Err(err(src.lines().count(), "unterminated .method (missing .end)"));
+    }
+
+    let methods: Vec<Method> = methods
+        .into_iter()
+        .zip(&order)
+        .map(|(m, n)| m.unwrap_or_else(|| panic!("method {n} declared but unparsed")))
+        .collect();
+    Ok(Program { methods, n_statics, volatile_statics })
+}
+
+/// Strip comments and surrounding whitespace.
+fn strip(raw: &str) -> &str {
+    match raw.find(';') {
+        Some(p) => raw[..p].trim(),
+        None => raw.trim(),
+    }
+}
+
+fn parse_num(s: &str, ln: usize) -> Result<i64, AsmError> {
+    s.parse::<i64>().map_err(|_| err(ln, format!("expected a number, got `{s}`")))
+}
+
+fn parse_kv(tok: &str, key: &str, ln: usize) -> Result<i64, AsmError> {
+    tok.strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| err(ln, format!("expected {key}=N, got `{tok}`")))
+        .and_then(|v| parse_num(v, ln))
+}
+
+fn parse_local(tok: &str, ln: usize) -> Result<u16, AsmError> {
+    tok.strip_prefix('l')
+        .and_then(|r| r.parse::<u16>().ok())
+        .ok_or_else(|| err(ln, format!("expected a local like l0, got `{tok}`")))
+}
+
+fn parse_static(tok: &str, ln: usize) -> Result<u16, AsmError> {
+    tok.strip_prefix('s')
+        .and_then(|r| r.parse::<u16>().ok())
+        .ok_or_else(|| err(ln, format!("expected a static like s0, got `{tok}`")))
+}
+
+/// In-progress method assembly.
+struct MethodAsm {
+    name: String,
+    params: u16,
+    locals: u16,
+    synchronized: bool,
+    code: Vec<Insn>,
+    labels: HashMap<String, u32>,
+    /// (insn index, label, line) to patch.
+    fixups: Vec<(usize, String, usize)>,
+    /// open `sync lN {` blocks: (local, enter pc).
+    sync_stack: Vec<(u16, u32)>,
+    sync_regions: Vec<SyncRegion>,
+    /// raw handler directives: (start, end, target labels, kind, line).
+    handler_dirs: Vec<(String, String, String, CatchKind, usize)>,
+}
+
+impl MethodAsm {
+    fn start(rest: &str, ln: usize) -> Result<Self, AsmError> {
+        let mut toks = rest.split_whitespace();
+        let name = toks.next().ok_or_else(|| err(ln, ".method needs a name"))?.to_string();
+        let mut params = None;
+        let mut locals = None;
+        let mut synchronized = false;
+        for t in toks {
+            if t == "synchronized" {
+                synchronized = true;
+            } else if t.starts_with("params=") {
+                params = Some(parse_kv(t, "params", ln)? as u16);
+            } else if t.starts_with("locals=") {
+                locals = Some(parse_kv(t, "locals", ln)? as u16);
+            } else {
+                return Err(err(ln, format!("unknown .method attribute `{t}`")));
+            }
+        }
+        let params = params.ok_or_else(|| err(ln, ".method needs params=N"))?;
+        let locals = locals.unwrap_or(params).max(params);
+        Ok(MethodAsm {
+            name,
+            params,
+            locals,
+            synchronized,
+            code: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            sync_stack: Vec::new(),
+            sync_regions: Vec::new(),
+            handler_dirs: Vec::new(),
+        })
+    }
+
+    fn handler_directive(&mut self, rest: &str, ln: usize) -> Result<(), AsmError> {
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        if toks.len() != 4 {
+            return Err(err(ln, ".handler START END TARGET class=N|all"));
+        }
+        let kind = if toks[3] == "all" {
+            CatchKind::All
+        } else {
+            CatchKind::Class(parse_kv(toks[3], "class", ln)? as u32)
+        };
+        self.handler_dirs.push((
+            toks[0].to_string(),
+            toks[1].to_string(),
+            toks[2].to_string(),
+            kind,
+            ln,
+        ));
+        Ok(())
+    }
+
+    fn emit(&mut self, i: Insn) {
+        self.code.push(i);
+    }
+
+    fn branch(&mut self, label: &str, ln: usize, make: fn(u32) -> Insn) {
+        self.code.push(make(u32::MAX));
+        self.fixups.push((self.code.len() - 1, label.to_string(), ln));
+    }
+
+    fn line(&mut self, line: &str, ln: usize, names: &HashMap<String, MethodId>) -> Result<(), AsmError> {
+        // label?
+        if let Some(l) = line.strip_suffix(':') {
+            let l = l.trim();
+            if self.labels.insert(l.to_string(), self.code.len() as u32).is_some() {
+                return Err(err(ln, format!("duplicate label `{l}`")));
+            }
+            return Ok(());
+        }
+        // sync block close?
+        if line == "}" {
+            let (local, enter) = self
+                .sync_stack
+                .pop()
+                .ok_or_else(|| err(ln, "unmatched `}`"))?;
+            self.emit(Insn::Load(local));
+            self.emit(Insn::MonitorExit);
+            self.sync_regions.push(SyncRegion { enter, exit: self.code.len() as u32 });
+            return Ok(());
+        }
+        let mut toks = line.split_whitespace();
+        let op = toks.next().expect("nonempty line");
+        let rest: Vec<&str> = toks.collect();
+        let arg = |i: usize| -> Result<&str, AsmError> {
+            rest.get(i).copied().ok_or_else(|| err(ln, format!("`{op}` needs an operand")))
+        };
+        match op {
+            "sync" => {
+                // `sync lN {`
+                let local = parse_local(arg(0)?, ln)?;
+                if rest.get(1) != Some(&"{") {
+                    return Err(err(ln, "expected `sync lN {`"));
+                }
+                self.emit(Insn::Load(local));
+                let enter = self.code.len() as u32;
+                self.emit(Insn::MonitorEnter);
+                self.sync_stack.push((local, enter));
+            }
+            "const" => {
+                let t = arg(0)?;
+                let v = if t == "null" { Value::Null } else { Value::Int(parse_num(t, ln)?) };
+                self.emit(Insn::Const(v));
+            }
+            "load" => { let l = parse_local(arg(0)?, ln)?; self.emit(Insn::Load(l)); }
+            "store" => { let l = parse_local(arg(0)?, ln)?; self.emit(Insn::Store(l)); }
+            "dup" => self.emit(Insn::Dup),
+            "pop" => self.emit(Insn::Pop),
+            "swap" => self.emit(Insn::Swap),
+            "add" => self.emit(Insn::Add),
+            "sub" => self.emit(Insn::Sub),
+            "mul" => self.emit(Insn::Mul),
+            "div" => self.emit(Insn::Div),
+            "rem" => self.emit(Insn::Rem),
+            "neg" => self.emit(Insn::Neg),
+            "goto" => self.branch(arg(0)?, ln, Insn::Goto),
+            "if_zero" => self.branch(arg(0)?, ln, Insn::IfZero),
+            "if_nonzero" => self.branch(arg(0)?, ln, Insn::IfNonZero),
+            "if_lt" => self.branch(arg(0)?, ln, Insn::IfLt),
+            "if_ge" => self.branch(arg(0)?, ln, Insn::IfGe),
+            "if_eq" => self.branch(arg(0)?, ln, Insn::IfEq),
+            "if_ne" => self.branch(arg(0)?, ln, Insn::IfNe),
+            "new" => {
+                let mut class_tag = 0u32;
+                let mut fields = 0u16;
+                let mut volatile_mask = 0u64;
+                for t in &rest {
+                    if t.starts_with("class=") {
+                        class_tag = parse_kv(t, "class", ln)? as u32;
+                    } else if t.starts_with("fields=") {
+                        fields = parse_kv(t, "fields", ln)? as u16;
+                    } else if t.starts_with("volatile=") {
+                        volatile_mask = parse_kv(t, "volatile", ln)? as u64;
+                    } else {
+                        return Err(err(ln, format!("unknown new attribute `{t}`")));
+                    }
+                }
+                self.emit(Insn::New { class_tag, fields, volatile_mask });
+            }
+            "newarray" => self.emit(Insn::NewArray),
+            "getfield" => { let o = parse_num(arg(0)?, ln)? as u16; self.emit(Insn::GetField(o)); }
+            "putfield" => { let o = parse_num(arg(0)?, ln)? as u16; self.emit(Insn::PutField(o)); }
+            "aload" => self.emit(Insn::ALoad),
+            "astore" => self.emit(Insn::AStore),
+            "getstatic" => { let s = parse_static(arg(0)?, ln)?; self.emit(Insn::GetStatic(s)); }
+            "putstatic" => { let s = parse_static(arg(0)?, ln)?; self.emit(Insn::PutStatic(s)); }
+            "arraylen" => self.emit(Insn::ArrayLen),
+            "monitorenter" => self.emit(Insn::MonitorEnter),
+            "monitorexit" => self.emit(Insn::MonitorExit),
+            "wait" => self.emit(Insn::Wait),
+            "notify" => self.emit(Insn::Notify),
+            "notifyall" => self.emit(Insn::NotifyAll),
+            "call" | "spawn" => {
+                let name = arg(0)?;
+                let id = *names
+                    .get(name)
+                    .ok_or_else(|| err(ln, format!("unknown method `{name}`")))?;
+                self.emit(if op == "call" { Insn::Call(id) } else { Insn::Spawn(id) });
+            }
+            "join" => self.emit(Insn::Join),
+            "ret" => self.emit(Insn::Ret),
+            "retvoid" => self.emit(Insn::RetVoid),
+            "throw" => self.emit(Insn::Throw),
+            "yield" => self.emit(Insn::Yield),
+            "sleep" => self.emit(Insn::Sleep),
+            "now" => self.emit(Insn::Now),
+            "randint" => self.emit(Insn::RandInt),
+            "native" => {
+                let o = match arg(0)? {
+                    "print" => NativeOp::Print,
+                    "emit" => NativeOp::Emit,
+                    other => return Err(err(ln, format!("unknown native `{other}`"))),
+                };
+                self.emit(Insn::Native(o));
+            }
+            "work" => self.emit(Insn::Work),
+            "nop" => self.emit(Insn::Nop),
+            other => return Err(err(ln, format!("unknown instruction `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn finish(mut self, ln: usize) -> Result<(String, Method), AsmError> {
+        if !self.sync_stack.is_empty() {
+            return Err(err(ln, "unclosed sync block"));
+        }
+        for (at, label, l) in std::mem::take(&mut self.fixups) {
+            let &pc = self
+                .labels
+                .get(&label)
+                .ok_or_else(|| err(l, format!("undefined label `{label}`")))?;
+            self.code[at] = match self.code[at] {
+                Insn::Goto(_) => Insn::Goto(pc),
+                Insn::IfZero(_) => Insn::IfZero(pc),
+                Insn::IfNonZero(_) => Insn::IfNonZero(pc),
+                Insn::IfLt(_) => Insn::IfLt(pc),
+                Insn::IfGe(_) => Insn::IfGe(pc),
+                Insn::IfEq(_) => Insn::IfEq(pc),
+                Insn::IfNe(_) => Insn::IfNe(pc),
+                other => unreachable!("fixup on non-branch {other:?}"),
+            };
+        }
+        let mut handlers = Vec::new();
+        for (s, e, t, kind, l) in std::mem::take(&mut self.handler_dirs) {
+            let lookup = |lab: &str| {
+                self.labels
+                    .get(lab)
+                    .copied()
+                    .ok_or_else(|| err(l, format!("undefined label `{lab}`")))
+            };
+            handlers.push(Handler { start: lookup(&s)?, end: lookup(&e)?, target: lookup(&t)?, kind });
+        }
+        Ok((
+            self.name.clone(),
+            Method {
+                name: self.name,
+                params: self.params,
+                locals: self.locals,
+                code: self.code,
+                handlers,
+                sync_regions: self.sync_regions,
+                synchronized: self.synchronized,
+                rollback_scopes: vec![],
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value as V;
+    use crate::{Vm, VmConfig};
+    use revmon_core::Priority;
+
+    const COUNTER: &str = r#"
+; self-contained fork/join counter
+.statics 2
+
+.method worker params=1 locals=2
+    sync l0 {
+        const 0
+        store l1
+    loop:
+        load l1
+        const 500
+        if_ge done
+        getstatic s0
+        const 1
+        add
+        putstatic s0
+        load l1
+        const 1
+        add
+        store l1
+        goto loop
+    done:
+    }
+    retvoid
+.end
+
+.method main params=0 locals=1
+    new class=0 fields=0
+    store l0
+    load l0
+    const 2        ; low priority
+    spawn worker
+    load l0
+    const 8        ; high priority
+    spawn worker
+    join
+    join
+    getstatic s0
+    putstatic s1
+    retvoid
+.end
+"#;
+
+    #[test]
+    fn assembles_and_runs_on_both_vms() {
+        for cfg in [VmConfig::unmodified(), VmConfig::modified()] {
+            let p = assemble(COUNTER).expect("assembles");
+            let main = p.method_by_name("main").unwrap();
+            let mut vm = Vm::new(p, cfg);
+            vm.spawn("main", main, vec![], Priority::NORM);
+            vm.run().expect("runs");
+            assert_eq!(vm.read_static(1).unwrap(), V::Int(1_000));
+        }
+    }
+
+    #[test]
+    fn sync_blocks_record_regions() {
+        let p = assemble(COUNTER).unwrap();
+        let w = p.method_by_name("worker").unwrap();
+        let m = p.method(w);
+        assert_eq!(m.sync_regions.len(), 1);
+        assert!(matches!(m.code[m.sync_regions[0].enter as usize], Insn::MonitorEnter));
+    }
+
+    #[test]
+    fn volatile_directive_applies() {
+        let p = assemble(".statics 2\n.volatile 1\n.method m params=0 locals=0\nretvoid\n.end\n")
+            .unwrap();
+        assert_eq!(p.volatile_statics, vec![1]);
+        assert_eq!(p.n_statics, 2);
+    }
+
+    #[test]
+    fn handler_directive_resolves_labels() {
+        let src = r#"
+.statics 1
+.method m params=0 locals=0
+try_start:
+    new class=9 fields=0
+    throw
+try_end:
+    retvoid
+catch:
+    pop
+    const 1
+    putstatic s0
+    retvoid
+.handler try_start try_end catch class=9
+.end
+"#;
+        let p = assemble(src).unwrap();
+        let m = p.method_by_name("m").unwrap();
+        let mut vm = Vm::new(p, VmConfig::unmodified());
+        vm.spawn("main", m, vec![], Priority::NORM);
+        vm.run().unwrap();
+        assert_eq!(vm.read_static(0).unwrap(), V::Int(1));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = assemble(".method m params=0 locals=0\n    fly\n.end\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("fly"));
+    }
+
+    #[test]
+    fn undefined_label_detected() {
+        let e = assemble(".method m params=0 locals=0\n    goto nowhere\n.end\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn unclosed_sync_detected() {
+        let e = assemble(".method m params=1 locals=1\n    sync l0 {\n.end\n").unwrap_err();
+        assert!(e.message.contains("unclosed sync"));
+    }
+
+    #[test]
+    fn duplicate_method_detected() {
+        let e = assemble(
+            ".method m params=0 locals=0\nretvoid\n.end\n.method m params=0 locals=0\nretvoid\n.end\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn synchronized_attribute_sets_flag_and_rewrites() {
+        let src = ".statics 1\n.method inc params=1 locals=1 synchronized\n    getstatic s0\n    const 1\n    add\n    putstatic s0\n    retvoid\n.end\n";
+        let p = assemble(src).unwrap();
+        assert!(p.methods[0].synchronized);
+        let r = crate::rewrite::rewrite_program(&p);
+        assert!(r.method_by_name("inc$sync").is_some());
+    }
+}

@@ -1,0 +1,392 @@
+//! The mini instruction set, methods, exception tables and programs.
+//!
+//! The ISA covers exactly the constructs the paper's technique
+//! manipulates: an operand stack and locals (so operand-stack
+//! save/restore at `monitorenter` is meaningful), the three store kinds
+//! that get write barriers (`PutField`, `PutStatic`, `AStore`), explicit
+//! `MonitorEnter`/`MonitorExit`, exception scopes with `finally`-style
+//! catch-all handlers, `wait`/`notify`, native (irrevocable) calls, and
+//! yield-point-bearing control flow.
+//!
+//! Methods carry *synchronized region* metadata (`SyncRegion`), the
+//! static analogue of Java's `monitorenter`/`monitorexit` bracketing that
+//! the BCEL rewriting pass in the paper discovers from bytecode; our
+//! [`rewrite`](crate::rewrite) pass consumes it to inject rollback scopes.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Index of a method within its [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MethodId(pub u32);
+
+impl MethodId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Built-in native operations. All of them are *irrevocable*: executing
+/// one inside a synchronized section forces non-revocability of every
+/// enclosing monitor (§2.2: "Calling a native method within a monitor
+/// also forces non-revocability of the monitor").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NativeOp {
+    /// Print the top of stack to the VM's output buffer (pops it).
+    Print,
+    /// Pop a value and append it to the VM's observable output as a raw
+    /// word (models console I/O).
+    Emit,
+}
+
+/// One instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Insn {
+    // -- stack / locals ---------------------------------------------------
+    /// Push a constant.
+    Const(Value),
+    /// Push local `0`.
+    Load(u16),
+    /// Pop into local `0`.
+    Store(u16),
+    /// Duplicate top of stack.
+    Dup,
+    /// Discard top of stack.
+    Pop,
+    /// Swap the two top stack slots.
+    Swap,
+
+    // -- arithmetic (pop 2, push 1; Neg pops 1) ---------------------------
+    /// Integer add.
+    Add,
+    /// Integer subtract (`a - b` with `b` on top).
+    Sub,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide (traps on zero).
+    Div,
+    /// Integer remainder (traps on zero).
+    Rem,
+    /// Integer negate.
+    Neg,
+
+    // -- control flow (branch targets are code offsets) -------------------
+    /// Unconditional jump. Backward jumps are yield points.
+    Goto(u32),
+    /// Jump if popped value is zero/null.
+    IfZero(u32),
+    /// Jump if popped value is non-zero/non-null.
+    IfNonZero(u32),
+    /// Pop b, a; jump if `a < b`.
+    IfLt(u32),
+    /// Pop b, a; jump if `a >= b`.
+    IfGe(u32),
+    /// Pop b, a; jump if `a == b` (word equality).
+    IfEq(u32),
+    /// Pop b, a; jump if `a != b`.
+    IfNe(u32),
+
+    // -- heap --------------------------------------------------------------
+    /// Allocate an object: `New { class_tag, fields, volatile_mask }`.
+    New {
+        /// Class tag for handler matching / diagnostics.
+        class_tag: u32,
+        /// Number of field slots.
+        fields: u16,
+        /// Bitmask of volatile fields.
+        volatile_mask: u64,
+    },
+    /// Pop length, allocate an array, push ref.
+    NewArray,
+    /// Pop ref, push field `0` — a *read barrier* site.
+    GetField(u16),
+    /// Pop value, pop ref, store into field `0` — a *write barrier* site
+    /// (Java `putfield`).
+    PutField(u16),
+    /// Pop index, pop ref, push element — read barrier site.
+    ALoad,
+    /// Pop value, pop index, pop ref, store element — write barrier site
+    /// (Java `Xastore`).
+    AStore,
+    /// Push static slot `0` — read barrier site.
+    GetStatic(u16),
+    /// Pop value into static slot `0` — write barrier site (`putstatic`).
+    PutStatic(u16),
+    /// Pop ref, push its slot count.
+    ArrayLen,
+
+    // -- monitors ----------------------------------------------------------
+    /// Pop ref, acquire its monitor (may block; a yield point).
+    MonitorEnter,
+    /// Pop ref, release its monitor.
+    MonitorExit,
+    /// Pop ref; `Object.wait()` on its monitor (must hold it).
+    Wait,
+    /// Pop ref; `Object.notify()`.
+    Notify,
+    /// Pop ref; `Object.notifyAll()`.
+    NotifyAll,
+
+    // -- calls ---------------------------------------------------------------
+    /// Call a method; pops its `params` arguments (last argument on top).
+    /// Method entry is a yield point (as in Jikes RVM prologues).
+    Call(MethodId),
+    /// Spawn a thread running the method: pops the priority level (int,
+    /// clamped to 1..=10) then the method's arguments (last on top);
+    /// pushes the new thread's id. Spawning is irrevocable — inside a
+    /// synchronized section it pins every enclosing monitor non-revocable
+    /// (a rolled-back spawn cannot "un-create" the thread).
+    Spawn(MethodId),
+    /// Pop a thread id; block until that thread terminates. A yield
+    /// point. Join cycles surface as a VM stall, like unbroken deadlocks.
+    Join,
+    /// Return with the popped value.
+    Ret,
+    /// Return void.
+    RetVoid,
+
+    // -- exceptions ----------------------------------------------------------
+    /// Pop an exception object reference and throw it.
+    Throw,
+
+    // -- scheduling / misc -----------------------------------------------------
+    /// Explicit yield point.
+    Yield,
+    /// Pop n; sleep for n virtual-clock ticks.
+    Sleep,
+    /// Push the current virtual clock value.
+    Now,
+    /// Pop bound; push a VM-seeded uniform random integer in `[0, bound)`.
+    RandInt,
+    /// Irrevocable native call.
+    Native(NativeOp),
+    /// Spin: pop n and charge n instruction-costs of pure compute without
+    /// touching shared state (models "benign operations"). Checked against
+    /// the quantum, so it cannot overrun a time slice.
+    Work,
+    /// No operation.
+    Nop,
+
+    // -- injected by the rewrite pass (see crate::rewrite) ----------------------
+    /// Snapshot locals + operand stack (below the monitor ref on top) so a
+    /// rollback can re-execute the following `MonitorEnter`. Injected
+    /// immediately before every `MonitorEnter` of a rollback scope.
+    SaveState,
+    /// Rollback-handler intrinsic: the thread's innermost active section
+    /// must correspond to this handler. If it is the revocation target,
+    /// release its monitor, restore the snapshot and jump back to the
+    /// `SaveState`; otherwise release and re-throw to the next outer
+    /// rollback scope.
+    RollbackHandler,
+}
+
+/// What a handler catches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CatchKind {
+    /// `catch (SomeClass e)` — matches thrown objects whose `class_tag`
+    /// equals the payload.
+    Class(u32),
+    /// `catch (Throwable t)` / `finally` — matches every *user*
+    /// exception. Never matches the internal rollback exception (§3.1.2:
+    /// the augmented exception handling routine ignores all handlers that
+    /// do not explicitly catch the rollback exception).
+    All,
+    /// The injected rollback-exception handler. Matches only rollback.
+    Rollback,
+}
+
+/// One exception-table entry: pcs in `[start, end)` are covered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Handler {
+    /// First covered pc.
+    pub start: u32,
+    /// One past the last covered pc.
+    pub end: u32,
+    /// Handler entry pc.
+    pub target: u32,
+    /// What it catches.
+    pub kind: CatchKind,
+}
+
+/// A statically-delimited synchronized region inside a method body:
+/// `enter` is the pc of the `MonitorEnter` and `exit` the pc one past its
+/// matching `MonitorExit`. The rewrite pass turns each region into a
+/// rollback scope.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SyncRegion {
+    /// pc of the `MonitorEnter`.
+    pub enter: u32,
+    /// pc one past the matching `MonitorExit`.
+    pub exit: u32,
+}
+
+/// A rewrite-injected rollback scope: one per [`SyncRegion`] after
+/// [`rewrite`](crate::rewrite) has run. The interpreter revokes sections
+/// by restoring the snapshot taken at `save_pc`; `handler_pc` points at
+/// the injected [`Insn::RollbackHandler`] (kept as metadata mirroring the
+/// paper's injected bytecode handler).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RollbackScope {
+    /// pc of the injected `SaveState`.
+    pub save_pc: u32,
+    /// pc of the `MonitorEnter` (always `save_pc + 1`).
+    pub enter_pc: u32,
+    /// pc one past the matching `MonitorExit`.
+    pub exit_pc: u32,
+    /// pc of the injected `RollbackHandler`.
+    pub handler_pc: u32,
+}
+
+/// A method.
+#[derive(Clone, Debug)]
+pub struct Method {
+    /// Diagnostic name.
+    pub name: String,
+    /// Number of parameters (become locals `0..params`).
+    pub params: u16,
+    /// Total local-variable slots (≥ `params`).
+    pub locals: u16,
+    /// Code.
+    pub code: Vec<Insn>,
+    /// Exception table. Searched in order; first match wins (as in the
+    /// JVM specification).
+    pub handlers: Vec<Handler>,
+    /// Synchronized regions discovered/declared in `code`.
+    pub sync_regions: Vec<SyncRegion>,
+    /// Whether this is a `synchronized` method (the rewrite pass wraps it
+    /// in a non-synchronized wrapper holding `monitorenter(this)`).
+    pub synchronized: bool,
+    /// Rollback scopes injected by the rewrite pass; empty on unrewritten
+    /// methods (whose sections therefore can never be revoked).
+    pub rollback_scopes: Vec<RollbackScope>,
+}
+
+impl Method {
+    /// Find the first matching handler for an exception of `kind_tag`
+    /// (None = rollback) thrown at `pc`.
+    pub fn find_handler(&self, pc: u32, thrown_class: Option<u32>) -> Option<&Handler> {
+        self.handlers.iter().find(|h| {
+            pc >= h.start
+                && pc < h.end
+                && match (h.kind, thrown_class) {
+                    (CatchKind::Rollback, None) => true,
+                    (_, None) => false, // rollback ignores user handlers
+                    (CatchKind::Rollback, Some(_)) => false,
+                    (CatchKind::All, Some(_)) => true,
+                    (CatchKind::Class(c), Some(t)) => c == t,
+                }
+        })
+    }
+}
+
+/// A whole program: methods + static-slot declarations.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// All methods.
+    pub methods: Vec<Method>,
+    /// Number of static slots.
+    pub n_statics: u32,
+    /// Static slots declared volatile.
+    pub volatile_statics: Vec<u32>,
+}
+
+impl Program {
+    /// Look up a method.
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.index()]
+    }
+
+    /// Find a method by name (diagnostics/tests).
+    pub fn method_by_name(&self, name: &str) -> Option<MethodId> {
+        self.methods
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| MethodId(i as u32))
+    }
+
+    /// Total instruction count across methods.
+    pub fn code_size(&self) -> usize {
+        self.methods.iter().map(|m| m.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn method_with_handlers(handlers: Vec<Handler>) -> Method {
+        Method {
+            name: "t".into(),
+            params: 0,
+            locals: 0,
+            code: vec![Insn::RetVoid],
+            handlers,
+            sync_regions: vec![],
+            synchronized: false,
+            rollback_scopes: vec![],
+        }
+    }
+
+    #[test]
+    fn rollback_skips_catch_all() {
+        // §3.1.2: during rollback, `finally`/catch(Throwable) are ignored.
+        let m = method_with_handlers(vec![
+            Handler { start: 0, end: 10, target: 20, kind: CatchKind::All },
+            Handler { start: 0, end: 10, target: 30, kind: CatchKind::Rollback },
+        ]);
+        let h = m.find_handler(5, None).unwrap();
+        assert_eq!(h.target, 30);
+    }
+
+    #[test]
+    fn user_exception_skips_rollback_handler() {
+        let m = method_with_handlers(vec![
+            Handler { start: 0, end: 10, target: 30, kind: CatchKind::Rollback },
+            Handler { start: 0, end: 10, target: 20, kind: CatchKind::All },
+        ]);
+        let h = m.find_handler(5, Some(7)).unwrap();
+        assert_eq!(h.target, 20);
+    }
+
+    #[test]
+    fn class_matching_is_exact() {
+        let m = method_with_handlers(vec![Handler {
+            start: 0,
+            end: 10,
+            target: 20,
+            kind: CatchKind::Class(3),
+        }]);
+        assert!(m.find_handler(5, Some(3)).is_some());
+        assert!(m.find_handler(5, Some(4)).is_none());
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let m = method_with_handlers(vec![Handler {
+            start: 2,
+            end: 4,
+            target: 9,
+            kind: CatchKind::All,
+        }]);
+        assert!(m.find_handler(1, Some(0)).is_none());
+        assert!(m.find_handler(2, Some(0)).is_some());
+        assert!(m.find_handler(3, Some(0)).is_some());
+        assert!(m.find_handler(4, Some(0)).is_none());
+    }
+
+    #[test]
+    fn first_matching_handler_wins() {
+        let m = method_with_handlers(vec![
+            Handler { start: 0, end: 10, target: 11, kind: CatchKind::All },
+            Handler { start: 0, end: 10, target: 12, kind: CatchKind::All },
+        ]);
+        assert_eq!(m.find_handler(0, Some(0)).unwrap().target, 11);
+    }
+}

@@ -1,0 +1,677 @@
+//! The bytecode interpreter: one instruction per `step`, with write
+//! barriers on the three store kinds (§3.1.2), read barriers feeding the
+//! JMM-consistency guard (§2.2), and Java-style program exceptions for
+//! null dereferences, bounds errors, and division by zero.
+
+use crate::bytecode::{Insn, NativeOp};
+use crate::error::VmError;
+use crate::heap::{HeapError, Location};
+use crate::thread::{Frame, Snapshot, ThreadState, UndoEntry};
+use crate::trace::TraceEvent;
+use crate::value::{ObjRef, Value, ValueError};
+use crate::vm::{StepOutcome, Vm};
+use rand::Rng;
+use revmon_core::ThreadId;
+
+/// Class tag of the built-in `NullPointerException`.
+pub const NPE_TAG: u32 = 0xFFFF_FF01;
+/// Class tag of the built-in `ArrayIndexOutOfBoundsException`.
+pub const OOB_TAG: u32 = 0xFFFF_FF02;
+/// Class tag of the built-in `ArithmeticException` (division by zero).
+pub const ARITH_TAG: u32 = 0xFFFF_FF03;
+/// Class tag of the built-in `OutOfMemoryError` (heap-object limit).
+pub const OOM_TAG: u32 = 0xFFFF_FF04;
+
+impl Vm {
+    /// Execute one instruction of `tid`. The pc is advanced before
+    /// execution (branch targets overwrite it), matching the JVM.
+    pub(crate) fn step(&mut self, tid: ThreadId) -> Result<StepOutcome, VmError> {
+        let (mid, pc) = {
+            let f = self.thread(tid).frame();
+            (f.method, f.pc)
+        };
+        let method = &self.program.methods[mid.index()];
+        let Some(&insn) = method.code.get(pc as usize) else {
+            return Err(VmError::BadPc { method: method.name.clone(), pc });
+        };
+        self.thread_mut(tid).frame_mut().pc = pc + 1;
+        self.thread_mut(tid).metrics.instructions += 1;
+        self.charge(self.config.cost.instruction);
+
+        let cont = Ok(StepOutcome::Continue { yield_point: false });
+        let cont_yield = Ok(StepOutcome::Continue { yield_point: true });
+
+        match insn {
+            // --- stack / locals ---------------------------------------
+            Insn::Const(v) => {
+                self.push(tid, v);
+                cont
+            }
+            Insn::Load(i) => {
+                let v = self.local(tid, i)?;
+                self.push(tid, v);
+                cont
+            }
+            Insn::Store(i) => {
+                let v = self.pop(tid)?;
+                self.set_local(tid, i, v)?;
+                cont
+            }
+            Insn::Dup => {
+                let v = self.pop(tid)?;
+                self.push(tid, v);
+                self.push(tid, v);
+                cont
+            }
+            Insn::Pop => {
+                self.pop(tid)?;
+                cont
+            }
+            Insn::Swap => {
+                let b = self.pop(tid)?;
+                let a = self.pop(tid)?;
+                self.push(tid, b);
+                self.push(tid, a);
+                cont
+            }
+
+            // --- arithmetic -------------------------------------------
+            Insn::Add => self.binop(tid, |a, b| Some(a.wrapping_add(b))),
+            Insn::Sub => self.binop(tid, |a, b| Some(a.wrapping_sub(b))),
+            Insn::Mul => self.binop(tid, |a, b| Some(a.wrapping_mul(b))),
+            Insn::Div => self.binop(tid, |a, b| a.checked_div(b)),
+            Insn::Rem => self.binop(tid, |a, b| a.checked_rem(b)),
+            Insn::Neg => {
+                let a = self.pop_int(tid)?;
+                self.push(tid, Value::Int(a.wrapping_neg()));
+                cont
+            }
+
+            // --- control flow -----------------------------------------
+            Insn::Goto(t) => {
+                self.thread_mut(tid).frame_mut().pc = t;
+                Ok(StepOutcome::Continue { yield_point: t <= pc })
+            }
+            Insn::IfZero(t) => {
+                let v = self.pop(tid)?;
+                self.branch_if(tid, !v.is_truthy(), t, pc)
+            }
+            Insn::IfNonZero(t) => {
+                let v = self.pop(tid)?;
+                self.branch_if(tid, v.is_truthy(), t, pc)
+            }
+            Insn::IfLt(t) => {
+                let (a, b) = self.pop2_int(tid)?;
+                self.branch_if(tid, a < b, t, pc)
+            }
+            Insn::IfGe(t) => {
+                let (a, b) = self.pop2_int(tid)?;
+                self.branch_if(tid, a >= b, t, pc)
+            }
+            Insn::IfEq(t) => {
+                let b = self.pop(tid)?;
+                let a = self.pop(tid)?;
+                self.branch_if(tid, a == b, t, pc)
+            }
+            Insn::IfNe(t) => {
+                let b = self.pop(tid)?;
+                let a = self.pop(tid)?;
+                self.branch_if(tid, a != b, t, pc)
+            }
+
+            // --- heap ---------------------------------------------------
+            Insn::New { class_tag, fields, volatile_mask } => {
+                if self.heap_exhausted() {
+                    return self.throw_builtin(tid, OOM_TAG);
+                }
+                let r = self.heap.alloc_with_volatile(class_tag, fields as u32, volatile_mask);
+                self.push(tid, Value::Ref(r));
+                cont
+            }
+            Insn::NewArray => {
+                let n = self.pop_int(tid)?;
+                if n < 0 {
+                    return self.throw_builtin(tid, OOB_TAG);
+                }
+                if self.heap_exhausted() {
+                    return self.throw_builtin(tid, OOM_TAG);
+                }
+                let r = self.heap.alloc_array(n as u32);
+                self.push(tid, Value::Ref(r));
+                cont
+            }
+            Insn::GetField(off) => {
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                self.read_shared(tid, Location::Obj(r, off as u32))
+            }
+            Insn::PutField(off) => {
+                let v = self.pop(tid)?;
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                let e = self.store_elided(mid, pc);
+                self.write_shared(tid, Location::Obj(r, off as u32), v, e)
+            }
+            Insn::ALoad => {
+                let i = self.pop_int(tid)?;
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                if i < 0 {
+                    return self.throw_builtin(tid, OOB_TAG);
+                }
+                self.read_shared(tid, Location::Obj(r, i as u32))
+            }
+            Insn::AStore => {
+                let v = self.pop(tid)?;
+                let i = self.pop_int(tid)?;
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                if i < 0 {
+                    return self.throw_builtin(tid, OOB_TAG);
+                }
+                let e = self.store_elided(mid, pc);
+                self.write_shared(tid, Location::Obj(r, i as u32), v, e)
+            }
+            Insn::GetStatic(s) => self.read_shared(tid, Location::Static(s as u32)),
+            Insn::PutStatic(s) => {
+                let v = self.pop(tid)?;
+                let e = self.store_elided(mid, pc);
+                self.write_shared(tid, Location::Static(s as u32), v, e)
+            }
+            Insn::ArrayLen => {
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                let n = self.heap.length_of(r)?;
+                self.push(tid, Value::Int(n as i64));
+                cont
+            }
+
+            // --- monitors -----------------------------------------------
+            Insn::MonitorEnter => {
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                if self.monitor_enter(tid, r)? {
+                    cont_yield
+                } else {
+                    Ok(StepOutcome::Descheduled)
+                }
+            }
+            Insn::MonitorExit => {
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                self.charge(self.config.cost.monitor_op);
+                self.exit_section_common(tid, r)?;
+                cont_yield
+            }
+            Insn::Wait => {
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                self.do_wait(tid, r)?;
+                Ok(StepOutcome::Descheduled)
+            }
+            Insn::Notify => {
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                self.do_notify(tid, r, false)?;
+                cont
+            }
+            Insn::NotifyAll => {
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                self.do_notify(tid, r, true)?;
+                cont
+            }
+
+            // --- calls ---------------------------------------------------
+            Insn::Call(callee) => {
+                let cm = &self.program.methods[callee.index()];
+                let (params, locals) = (cm.params as usize, cm.locals as usize);
+                let mut args = vec![Value::Null; locals];
+                for i in (0..params).rev() {
+                    args[i] = self.pop(tid)?;
+                }
+                self.thread_mut(tid).frames.push(Frame {
+                    method: callee,
+                    pc: 0,
+                    locals: args,
+                    stack: Vec::new(),
+                });
+                cont_yield // method entry is a yield point (Jikes prologues)
+            }
+            Insn::Spawn(target) => {
+                // Spawning is irrevocable (a rollback cannot un-create the
+                // thread): pin every enclosing section, like a native call.
+                if self.thread(tid).in_section() {
+                    let flipped = self.thread_mut(tid).mark_all_nonrevocable();
+                    self.global.monitors_marked_nonrevocable += flipped;
+                }
+                let prio_level = self.pop_int(tid)?;
+                let cm = &self.program.methods[target.index()];
+                let params = cm.params as usize;
+                let mut args = vec![Value::Null; params];
+                for i in (0..params).rev() {
+                    args[i] = self.pop(tid)?;
+                }
+                let name = format!("spawn{}", self.threads.len());
+                let prio = revmon_core::Priority::new(prio_level.clamp(1, 10) as u8);
+                let child = self.spawn(&name, target, args, prio);
+                self.push(tid, Value::Int(child.0 as i64));
+                cont_yield
+            }
+            Insn::Join => {
+                let target = self.pop_int(tid)?;
+                if target < 0 || target as usize >= self.threads.len() {
+                    return self.throw_builtin(tid, OOB_TAG);
+                }
+                let target = ThreadId(target as u32);
+                if target == tid || self.thread(target).is_terminated() {
+                    return cont_yield; // joining self or a finished thread: no-op
+                }
+                self.thread_mut(tid).state = ThreadState::BlockedJoin(target);
+                self.join_waiters.entry(target).or_default().push(tid);
+                Ok(StepOutcome::Descheduled)
+            }
+            Insn::Ret => {
+                let v = self.pop(tid)?;
+                self.do_return(tid, Some(v))
+            }
+            Insn::RetVoid => self.do_return(tid, None),
+
+            // --- exceptions ----------------------------------------------
+            Insn::Throw => {
+                let r = match self.pop_obj(tid)? {
+                    Ok(r) => r,
+                    Err(outcome) => return Ok(outcome),
+                };
+                self.throw_user(tid, r)
+            }
+
+            // --- scheduling / misc ----------------------------------------
+            Insn::Yield => {
+                // Thread.yield(): go to the back of the run queue.
+                self.make_ready(tid);
+                Ok(StepOutcome::Descheduled)
+            }
+            Insn::Sleep => {
+                let n = self.pop_int(tid)?;
+                if n <= 0 {
+                    return cont_yield;
+                }
+                self.thread_mut(tid).state = ThreadState::Sleeping(self.clock + n as u64);
+                Ok(StepOutcome::Descheduled)
+            }
+            Insn::Now => {
+                let c = self.clock;
+                self.push(tid, Value::Int(c as i64));
+                cont
+            }
+            Insn::RandInt => {
+                let bound = self.pop_int(tid)?;
+                let v = if bound <= 0 { 0 } else { self.rng.gen_range(0..bound) };
+                self.push(tid, Value::Int(v));
+                cont
+            }
+            Insn::Native(op) => {
+                // Native effects are irrevocable: every enclosing monitor
+                // becomes non-revocable (§2.2).
+                if self.thread(tid).in_section() {
+                    let flipped = self.thread_mut(tid).mark_all_nonrevocable();
+                    self.global.monitors_marked_nonrevocable += flipped;
+                    if flipped > 0 {
+                        let m = self.thread(tid).sections[0].monitor;
+                        self.emit_trace(TraceEvent::NonRevocable { thread: tid, monitor: m });
+                        if self.config.sticky_nonrevocable {
+                            let ms: Vec<ObjRef> =
+                                self.thread(tid).sections.iter().map(|s| s.monitor).collect();
+                            for m in ms {
+                                self.monitors.get_mut(m).sticky_nonrevocable = true;
+                            }
+                        }
+                    }
+                }
+                match op {
+                    NativeOp::Print | NativeOp::Emit => {
+                        let v = self.pop(tid)?;
+                        self.output.push(v);
+                    }
+                }
+                cont
+            }
+            Insn::Work => {
+                let n = self.pop_int(tid)?;
+                if n > 0 {
+                    self.charge(n as u64 * self.config.cost.instruction);
+                }
+                cont_yield
+            }
+            Insn::Nop => cont,
+
+            // --- rewrite-injected --------------------------------------------
+            Insn::SaveState => {
+                let t = self.thread_mut(tid);
+                let f = t.frame();
+                let snap = Snapshot {
+                    locals: f.locals.clone(),
+                    stack: f.stack.clone(),
+                    resume_pc: pc, // re-execution re-runs SaveState itself
+                    after_wait: false,
+                };
+                t.pending_snapshot = Some(snap);
+                cont
+            }
+            Insn::RollbackHandler => Err(VmError::Internal(
+                "RollbackHandler reached by normal control flow",
+            )),
+        }
+    }
+
+    /// Whether the configured heap-object limit is reached (this VM has
+    /// no GC — allocation is an arena, so the limit is a hard program
+    /// budget).
+    fn heap_exhausted(&self) -> bool {
+        self.config.max_heap_objects != 0
+            && self.heap.object_count() >= self.config.max_heap_objects
+    }
+
+    // --- shared-data access with barriers ------------------------------
+
+    /// Read barrier + heap read + push. The read barrier is the JMM
+    /// guard's dependency check (§2.2); the paper's conclusion notes such
+    /// read barriers could be elided outside locked regions — disabling
+    /// `jmm_guard` models that elision.
+    fn read_shared(&mut self, tid: ThreadId, loc: Location) -> Result<StepOutcome, VmError> {
+        if self.config.jmm_guard {
+            self.charge(self.config.cost.barrier_fast);
+            if let Some(w) = self.jmm.check_read(loc, tid) {
+                let flipped =
+                    self.threads[w.writer.index()].mark_nonrevocable_enclosing(w.log_pos);
+                self.global.monitors_marked_nonrevocable += flipped;
+                if flipped > 0 {
+                    let m = self.threads[w.writer.index()]
+                        .sections
+                        .first()
+                        .map(|s| s.monitor)
+                        .unwrap_or(ObjRef(0));
+                    self.emit_trace(TraceEvent::NonRevocable { thread: w.writer, monitor: m });
+                    if self.config.sticky_nonrevocable {
+                        let ms: Vec<ObjRef> = self.threads[w.writer.index()]
+                            .sections
+                            .iter()
+                            .filter(|s| !s.revocable)
+                            .map(|s| s.monitor)
+                            .collect();
+                        for m in ms {
+                            self.monitors.get_mut(m).sticky_nonrevocable = true;
+                        }
+                    }
+                }
+            }
+        }
+        match self.heap.read(loc) {
+            Ok(v) => {
+                self.push(tid, v);
+                Ok(StepOutcome::Continue { yield_point: false })
+            }
+            Err(HeapError::BadOffset(..)) | Err(HeapError::BadStatic(_)) => {
+                self.throw_builtin(tid, OOB_TAG)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Whether the store at `mid`/`pc` was statically proven to never
+    /// execute inside a synchronized section (§1.1's elision).
+    #[inline]
+    fn store_elided(&self, mid: crate::bytecode::MethodId, pc: u32) -> bool {
+        match &self.elision {
+            Some(t) => t.is_elided(mid.index(), pc),
+            None => false,
+        }
+    }
+
+    /// Write barrier + heap write: fast-path "in a synchronized section?"
+    /// test on every store when barriers are compiled in, slow-path
+    /// logging of the old value when inside one (§3.1.2). `elided` stores
+    /// skip the barrier entirely (statically proven never-in-monitor).
+    fn write_shared(
+        &mut self,
+        tid: ThreadId,
+        loc: Location,
+        v: Value,
+        elided: bool,
+    ) -> Result<StepOutcome, VmError> {
+        match self.heap.write(loc, v) {
+            Ok(old) => {
+                if self.config.barriers && elided {
+                    debug_assert!(
+                        !self.thread(tid).in_section(),
+                        "elided store executed inside a synchronized section"
+                    );
+                    self.thread_mut(tid).metrics.barriers_elided += 1;
+                }
+                if self.config.barriers && !elided {
+                    self.thread_mut(tid).metrics.barrier_fast_paths += 1;
+                    self.charge(self.config.cost.barrier_fast);
+                    if self.thread(tid).in_section() {
+                        let pos = {
+                            let t = self.thread_mut(tid);
+                            t.undo.push(UndoEntry { loc, old });
+                            t.metrics.log_entries += 1;
+                            t.undo.len() - 1
+                        };
+                        if self.config.jmm_guard {
+                            self.jmm.record_write(loc, tid, pos);
+                        }
+                        self.charge(self.config.cost.barrier_slow);
+                    }
+                }
+                Ok(StepOutcome::Continue { yield_point: false })
+            }
+            Err(HeapError::BadOffset(..)) | Err(HeapError::BadStatic(_)) => {
+                self.throw_builtin(tid, OOB_TAG)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    // --- exceptions ---------------------------------------------------------
+
+    /// Allocate and throw a built-in exception (`NPE`, `OOB`, `ARITH`).
+    pub(crate) fn throw_builtin(&mut self, tid: ThreadId, tag: u32) -> Result<StepOutcome, VmError> {
+        let exc = self.heap.alloc(tag, 0);
+        self.throw_user(tid, exc)
+    }
+
+    /// Throw a user exception from the current pc, unwinding frames. The
+    /// *standard* propagation rules apply (this is not the rollback path):
+    /// catch-all/`finally` handlers run, and monitors of synchronized
+    /// regions being exited are released (as javac's synthetic handlers
+    /// would), with their updates kept — an exceptional exit is a normal
+    /// exit as far as the log is concerned.
+    pub(crate) fn throw_user(&mut self, tid: ThreadId, exc: ObjRef) -> Result<StepOutcome, VmError> {
+        let class_tag = self.heap.object(exc)?.class_tag;
+        loop {
+            let depth = self.thread(tid).frames.len() - 1;
+            let (mid, throw_pc) = {
+                let f = self.thread(tid).frame();
+                (f.method, f.pc.saturating_sub(1))
+            };
+            let handler = self.program.methods[mid.index()]
+                .find_handler(throw_pc, Some(class_tag))
+                .copied();
+            if let Some(h) = handler {
+                // Release sections of this frame whose region does not
+                // cover the handler.
+                #[allow(clippy::while_let_loop)]
+                loop {
+                    let Some(top) = self.thread(tid).sections.last() else { break };
+                    if top.frame_depth < depth {
+                        break;
+                    }
+                    let covers = match top.region {
+                        Some((s, e)) => h.target >= s && h.target < e,
+                        None => true, // unknown extent: assume it covers
+                    };
+                    if top.frame_depth == depth && covers {
+                        break;
+                    }
+                    let obj = top.monitor;
+                    self.exit_section_common(tid, obj)?;
+                }
+                let f = self.thread_mut(tid).frame_mut();
+                f.stack.clear();
+                f.stack.push(Value::Ref(exc));
+                f.pc = h.target;
+                return Ok(StepOutcome::Continue { yield_point: false });
+            }
+            // No handler here: release this frame's sections and pop it.
+            #[allow(clippy::while_let_loop)]
+            loop {
+                let Some(top) = self.thread(tid).sections.last() else { break };
+                if top.frame_depth < depth {
+                    break;
+                }
+                let obj = top.monitor;
+                self.exit_section_common(tid, obj)?;
+            }
+            self.thread_mut(tid).frames.pop();
+            if self.thread(tid).frames.is_empty() {
+                let t = self.thread_mut(tid);
+                t.uncaught = Some(class_tag);
+                t.state = ThreadState::Terminated;
+                return Ok(StepOutcome::Terminated);
+            }
+        }
+    }
+
+    fn do_return(&mut self, tid: ThreadId, v: Option<Value>) -> Result<StepOutcome, VmError> {
+        let depth = self.thread(tid).frames.len() - 1;
+        if self
+            .thread(tid)
+            .sections
+            .last()
+            .map(|s| s.frame_depth >= depth)
+            .unwrap_or(false)
+        {
+            return Err(VmError::IllegalMonitorState("return with an open synchronized section"));
+        }
+        self.thread_mut(tid).frames.pop();
+        if self.thread(tid).frames.is_empty() {
+            self.thread_mut(tid).state = ThreadState::Terminated;
+            return Ok(StepOutcome::Terminated);
+        }
+        if let Some(v) = v {
+            self.push(tid, v);
+        }
+        Ok(StepOutcome::Continue { yield_point: false })
+    }
+
+    // --- small helpers -----------------------------------------------------
+
+    fn branch_if(
+        &mut self,
+        tid: ThreadId,
+        taken: bool,
+        target: u32,
+        insn_pc: u32,
+    ) -> Result<StepOutcome, VmError> {
+        if taken {
+            self.thread_mut(tid).frame_mut().pc = target;
+            // Taken backward branches are yield points (loop back-edges,
+            // where Jikes RVM plants its yieldpoints).
+            Ok(StepOutcome::Continue { yield_point: target <= insn_pc })
+        } else {
+            Ok(StepOutcome::Continue { yield_point: false })
+        }
+    }
+
+    fn binop(
+        &mut self,
+        tid: ThreadId,
+        f: impl FnOnce(i64, i64) -> Option<i64>,
+    ) -> Result<StepOutcome, VmError> {
+        let (a, b) = self.pop2_int(tid)?;
+        match f(a, b) {
+            Some(v) => {
+                self.push(tid, Value::Int(v));
+                Ok(StepOutcome::Continue { yield_point: false })
+            }
+            None => self.throw_builtin(tid, ARITH_TAG),
+        }
+    }
+
+    pub(crate) fn push(&mut self, tid: ThreadId, v: Value) {
+        self.thread_mut(tid).frame_mut().stack.push(v);
+    }
+
+    pub(crate) fn pop(&mut self, tid: ThreadId) -> Result<Value, VmError> {
+        let (name, pc) = {
+            let f = self.thread(tid).frame();
+            (f.method, f.pc)
+        };
+        self.thread_mut(tid).frame_mut().stack.pop().ok_or_else(|| VmError::StackUnderflow {
+            method: self.program.methods[name.index()].name.clone(),
+            pc,
+        })
+    }
+
+    fn pop_int(&mut self, tid: ThreadId) -> Result<i64, VmError> {
+        Ok(self.pop(tid)?.as_int()?)
+    }
+
+    fn pop2_int(&mut self, tid: ThreadId) -> Result<(i64, i64), VmError> {
+        let b = self.pop_int(tid)?;
+        let a = self.pop_int(tid)?;
+        Ok((a, b))
+    }
+
+    /// Pop a reference; a `Null` turns into a thrown NPE (the `Err` arm
+    /// carries the resulting step outcome).
+    fn pop_obj(&mut self, tid: ThreadId) -> Result<Result<ObjRef, StepOutcome>, VmError> {
+        match self.pop(tid)?.as_ref() {
+            Ok(r) => Ok(Ok(r)),
+            Err(ValueError::NullReference) => Ok(Err(self.throw_builtin(tid, NPE_TAG)?)),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn local(&self, tid: ThreadId, i: u16) -> Result<Value, VmError> {
+        self.thread(tid)
+            .frame()
+            .locals
+            .get(i as usize)
+            .copied()
+            .ok_or(VmError::Internal("local index out of range"))
+    }
+
+    fn set_local(&mut self, tid: ThreadId, i: u16, v: Value) -> Result<(), VmError> {
+        let f = self.thread_mut(tid).frame_mut();
+        match f.locals.get_mut(i as usize) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(VmError::Internal("local index out of range")),
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Revocation: requesting and performing the rollback of a synchronized
+//! section (§1.1, §3.1.2).
+//!
+//! A revocation request flags the holder (`pending_revoke`); the flag is
+//! honoured at the holder's next yield point (dispatch boundaries for
+//! ready/running threads, immediately for threads suspended at a safe
+//! point — blocked or sleeping). Performing the revocation:
+//!
+//! 1. **Restore shared state first** — the undo log is processed in
+//!    reverse down to the target section's mark *"before a thread that
+//!    has been interrupted releases any of its locks"*, so partial
+//!    results never become visible to other threads;
+//! 2. **Release monitors innermost-first** — what the injected rollback
+//!    handlers do as the internal rollback exception propagates outward,
+//!    skipping every user handler and `finally` block in between;
+//! 3. **Restore control** — the target section's saved locals/operand
+//!    stack are reinstated and the pc returns to the injected `SaveState`
+//!    preceding the section's `MonitorEnter` (or, for a post-`wait`
+//!    restart point, the thread queues to re-acquire the monitor and
+//!    resume just after the `wait`).
+
+use crate::error::VmError;
+use crate::thread::ThreadState;
+use crate::trace::TraceEvent;
+use crate::value::ObjRef;
+use crate::vm::Vm;
+use revmon_core::ThreadId;
+
+impl Vm {
+    /// Flag `holder` so that its outermost section on `obj` is revoked at
+    /// its next yield point. No-op (counted as unresolved) when the
+    /// section is non-revocable, sticky-blocked, or livelock-guarded.
+    pub(crate) fn request_revocation(
+        &mut self,
+        by: ThreadId,
+        holder: ThreadId,
+        obj: ObjRef,
+    ) -> Result<(), VmError> {
+        let Some(idx) = self.thread(holder).outermost_section_on(obj) else {
+            return Ok(()); // already released in the meantime
+        };
+        let livelock_denied = self.config.max_consecutive_revocations != 0
+            && self.thread(holder).consecutive_revocations
+                >= self.config.max_consecutive_revocations;
+        let can = self.thread(holder).sections[idx].can_revoke() && !livelock_denied;
+        if !can {
+            self.global.inversions_unresolved += 1;
+            self.emit_trace(TraceEvent::InversionUnresolved { by, holder, monitor: obj });
+            return Ok(());
+        }
+        let acq = self.thread(holder).sections[idx].acq_id;
+        // Keep the shallowest (outermost) target if requests pile up.
+        let replace = match self.thread(holder).pending_revoke {
+            None => true,
+            Some(existing) => match self.thread(holder).section_by_acq(existing) {
+                Some(ei) => idx < ei,
+                None => true, // stale target
+            },
+        };
+        if replace {
+            self.thread_mut(holder).pending_revoke = Some(acq);
+        }
+        self.global.revocations_requested += 1;
+        self.emit_trace(TraceEvent::RevokeRequest { by, holder, monitor: obj });
+        // Threads suspended at a safe point are revoked immediately: a
+        // Ready thread was descheduled *at* a yield point, and blocked or
+        // sleeping threads sit at monitor-enter / sleep yield points. On
+        // this uniprocessor the holder can never be Running while the
+        // requester runs, so in practice every revocation happens at the
+        // holder's current yield point — the paper's "next yield point"
+        // with zero scheduling delay. (A Running holder — possible only
+        // via the background scanner firing mid-dispatch — is still
+        // deferred to its next yield point in the dispatch loop.)
+        match self.thread(holder).state {
+            ThreadState::BlockedEnter(_)
+            | ThreadState::Sleeping(_)
+            | ThreadState::BlockedJoin(_)
+            | ThreadState::Ready => {
+                self.perform_revocation(holder)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Act on a pending revocation. Called at the holder's yield points
+    /// and, for suspended holders, directly from `request_revocation` /
+    /// the deadlock breaker.
+    pub(crate) fn perform_revocation(&mut self, tid: ThreadId) -> Result<(), VmError> {
+        let Some(acq) = self.thread_mut(tid).pending_revoke.take() else {
+            return Ok(());
+        };
+        let Some(idx) = self.thread(tid).section_by_acq(acq) else {
+            return Ok(()); // section exited before the flag was honoured
+        };
+        if !self.thread(tid).sections[idx].can_revoke() {
+            // Became non-revocable after the request (JMM guard raced).
+            self.global.inversions_unresolved += 1;
+            return Ok(());
+        }
+
+        let prior_state = self.thread(tid).state;
+        // Detach from whatever the thread is suspended on.
+        match prior_state {
+            ThreadState::BlockedEnter(m) => {
+                self.monitors.get_mut(m).queue.remove_where(|&t| t == tid);
+                self.graph.remove_wait(tid);
+            }
+            ThreadState::Sleeping(_) => {}
+            ThreadState::BlockedJoin(target) => {
+                if let Some(ws) = self.join_waiters.get_mut(&target) {
+                    ws.retain(|&w| w != tid);
+                }
+            }
+            ThreadState::Running | ThreadState::Ready => {}
+            ThreadState::Waiting(_) | ThreadState::BlockedReacquire(_) => {
+                // Unreachable: a waiting thread does not own the monitor,
+                // so nothing can target its sections for revocation.
+                return Err(VmError::Internal("revocation of a waiting thread"));
+            }
+            ThreadState::Terminated => return Ok(()),
+        }
+
+        // 1. Restore shared state (before releasing any locks).
+        let mark = self.thread(tid).sections[idx].mark;
+        let mut entries: u64 = 0;
+        {
+            let mut log = std::mem::take(&mut self.threads[tid.index()].undo);
+            let heap = &mut self.heap;
+            let jmm = &mut self.jmm;
+            let guard = self.config.jmm_guard;
+            log.rollback_to(mark, |e| {
+                if guard {
+                    jmm.clear(e.loc, tid);
+                }
+                // The location was valid when logged; restoring cannot fail.
+                let _ = heap.write(e.loc, e.old);
+                entries += 1;
+            });
+            self.threads[tid.index()].undo = log;
+        }
+        self.charge(self.config.cost.rollback(entries as usize));
+        {
+            let m = self.thread(tid).sections[idx].monitor;
+            self.emit_trace(TraceEvent::Rollback { thread: tid, monitor: m, entries });
+        }
+
+        // 2. Release monitors innermost-first, as the propagating rollback
+        //    exception's handlers would.
+        let after_wait = self
+            .thread(tid)
+            .sections[idx]
+            .snapshot
+            .as_ref()
+            .map(|s| s.after_wait)
+            .unwrap_or(false);
+        let to_release: Vec<ObjRef> = self.thread(tid).sections[idx..]
+            .iter()
+            .rev()
+            .map(|s| s.monitor)
+            .collect();
+        for m in to_release {
+            self.release_one_level(tid, m)?;
+        }
+
+        // 3. Restore control.
+        let target = self.thread(tid).sections[idx].clone();
+        let snap = target.snapshot.clone().expect("can_revoke implies snapshot");
+        {
+            let t = self.thread_mut(tid);
+            // For a post-wait restart the section record survives (the
+            // thread is still lexically inside it and will re-acquire);
+            // otherwise the section is gone until `MonitorEnter` re-runs.
+            t.sections.truncate(if after_wait { idx + 1 } else { idx });
+            t.frames.truncate(target.frame_depth + 1);
+            let f = t.frames.last_mut().expect("section frame exists");
+            f.locals = snap.locals.clone();
+            f.stack = snap.stack.clone();
+            f.pc = snap.resume_pc;
+            t.metrics.rollbacks += 1;
+            t.metrics.entries_rolled_back += entries;
+            t.consecutive_revocations += 1;
+        }
+
+        // 4. Reschedule.
+        if after_wait {
+            let eff = self.thread(tid).effective_priority;
+            self.thread_mut(tid).wait_recursion = 1;
+            if self.monitors.get(target.monitor).and_then(|m| m.owner).is_none() {
+                // Nobody took the monitor at release (empty queue): take it
+                // back immediately and continue.
+                self.thread_mut(tid).state = ThreadState::BlockedReacquire(target.monitor);
+                self.monitors.get_mut(target.monitor).queue.push(tid, eff);
+                let granted = self
+                    .monitors
+                    .get_mut(target.monitor)
+                    .queue
+                    .pop()
+                    .expect("just pushed");
+                self.grant(granted, target.monitor)?;
+                // grant() made the thread Ready; if it was running it keeps
+                // its dispatch only via the run queue now.
+            } else {
+                self.thread_mut(tid).state = ThreadState::BlockedReacquire(target.monitor);
+                self.monitors.get_mut(target.monitor).queue.push(tid, eff);
+                if let Some(owner) = self.monitors.get(target.monitor).and_then(|m| m.owner) {
+                    self.graph
+                        .add_wait(tid, revmon_core::MonitorId(target.monitor.0), owner);
+                }
+            }
+        } else {
+            match prior_state {
+                ThreadState::Running => { /* keeps running from the restart pc */ }
+                ThreadState::Ready => { /* still queued */ }
+                ThreadState::BlockedEnter(_)
+                | ThreadState::Sleeping(_)
+                | ThreadState::BlockedJoin(_) => {
+                    self.make_ready(tid);
+                }
+                _ => unreachable!("filtered above"),
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,94 @@
+//! Optional event trace, used by tests and the Figure-1 walkthrough
+//! example to assert on the exact sequence of monitor events.
+
+use crate::value::ObjRef;
+use revmon_core::ThreadId;
+
+/// One traced event (virtual-clock timestamps attached by the VM).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Thread acquired the monitor (uncontended, handed off, or
+    /// recursive re-entry).
+    Acquire {
+        /// Acquiring thread.
+        thread: ThreadId,
+        /// Monitor object.
+        monitor: ObjRef,
+    },
+    /// Thread blocked on the monitor's entry queue.
+    Block {
+        /// Blocking thread.
+        thread: ThreadId,
+        /// Monitor object.
+        monitor: ObjRef,
+    },
+    /// A higher-priority contender flagged the holder for revocation.
+    RevokeRequest {
+        /// Requesting (high-priority) thread.
+        by: ThreadId,
+        /// Flagged holder.
+        holder: ThreadId,
+        /// Contended monitor.
+        monitor: ObjRef,
+    },
+    /// A section was rolled back.
+    Rollback {
+        /// Revoked thread.
+        thread: ThreadId,
+        /// Monitor of the revoked section.
+        monitor: ObjRef,
+        /// Undo-log entries restored.
+        entries: u64,
+    },
+    /// A section committed (its outermost `MonitorExit` retired the log).
+    Commit {
+        /// Committing thread.
+        thread: ThreadId,
+        /// Monitor object.
+        monitor: ObjRef,
+    },
+    /// Thread released the monitor.
+    Release {
+        /// Releasing thread.
+        thread: ThreadId,
+        /// Monitor object.
+        monitor: ObjRef,
+    },
+    /// A section was marked non-revocable (JMM guard, native call,
+    /// nested wait).
+    NonRevocable {
+        /// Owning thread.
+        thread: ThreadId,
+        /// Monitor of the flagged section.
+        monitor: ObjRef,
+    },
+    /// A deadlock cycle was detected.
+    DeadlockDetected {
+        /// Number of threads in the cycle.
+        cycle_len: usize,
+    },
+    /// A deadlock was broken by revoking `victim`.
+    DeadlockBroken {
+        /// Revoked thread.
+        victim: ThreadId,
+    },
+    /// An inversion was detected but could not be resolved (target
+    /// non-revocable).
+    InversionUnresolved {
+        /// High-priority requester.
+        by: ThreadId,
+        /// Low-priority holder.
+        holder: ThreadId,
+        /// Contended monitor.
+        monitor: ObjRef,
+    },
+}
+
+/// A timestamped trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual-clock tick of the event.
+    pub at: u64,
+    /// The event.
+    pub event: TraceEvent,
+}

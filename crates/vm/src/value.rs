@@ -1,0 +1,146 @@
+//! Runtime values.
+//!
+//! The VM is word-oriented like the paper's logging scheme (§3.1.2 logs
+//! "object or array reference, value offset and the (old) value itself"):
+//! every field, array element, static slot, local and operand-stack slot
+//! holds one [`Value`].
+
+use std::fmt;
+
+/// A reference to a heap object (index into the VM heap).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjRef(pub u32);
+
+impl ObjRef {
+    /// Heap index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// One VM word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Value {
+    /// The null reference. Also the default value of every slot.
+    #[default]
+    Null,
+    /// A (64-bit) integer; models Java's numeric primitives.
+    Int(i64),
+    /// A heap reference.
+    Ref(ObjRef),
+}
+
+impl Value {
+    /// Interpret as integer; `Null` reads as 0 (convenient for flags).
+    pub fn as_int(self) -> Result<i64, ValueError> {
+        match self {
+            Value::Int(i) => Ok(i),
+            Value::Null => Ok(0),
+            Value::Ref(_) => Err(ValueError::ExpectedInt),
+        }
+    }
+
+    /// Interpret as (non-null) reference.
+    pub fn as_ref(self) -> Result<ObjRef, ValueError> {
+        match self {
+            Value::Ref(r) => Ok(r),
+            Value::Null => Err(ValueError::NullReference),
+            Value::Int(_) => Err(ValueError::ExpectedRef),
+        }
+    }
+
+    /// Truthiness for conditional branches (non-zero / non-null).
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => i != 0,
+            Value::Ref(_) => true,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(r: ObjRef) -> Self {
+        Value::Ref(r)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Ref(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Type confusion / null dereference faults. These surface as
+/// [`VmError`](crate::VmError)s — a program that trips one is buggy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueError {
+    /// An integer was required.
+    ExpectedInt,
+    /// A reference was required.
+    ExpectedRef,
+    /// Null dereference.
+    NullReference,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::ExpectedInt => write!(f, "expected an integer value"),
+            ValueError::ExpectedRef => write!(f, "expected a reference value"),
+            ValueError::NullReference => write!(f, "null reference"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_reads_as_zero_int() {
+        assert_eq!(Value::Null.as_int(), Ok(0));
+    }
+
+    #[test]
+    fn ref_is_not_an_int() {
+        assert_eq!(Value::Ref(ObjRef(1)).as_int(), Err(ValueError::ExpectedInt));
+    }
+
+    #[test]
+    fn null_deref_is_reported() {
+        assert_eq!(Value::Null.as_ref(), Err(ValueError::NullReference));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(-3).is_truthy());
+        assert!(Value::Ref(ObjRef(0)).is_truthy());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(ObjRef(2)), Value::Ref(ObjRef(2)));
+    }
+}

@@ -1,0 +1,653 @@
+//! The virtual machine: configuration, thread spawning, and the
+//! round-robin green-thread scheduler with its virtual clock.
+//!
+//! Scheduling reproduces the paper's environment (§4): Jikes RVM 2.2.1
+//! schedules threads *round-robin without priorities* on a uniprocessor;
+//! priorities act only at monitor entry queues (prioritized queues) and
+//! through the revocation mechanism itself. A priority-preemptive
+//! scheduler is available for the ablation experiments.
+
+use crate::bytecode::{MethodId, Program};
+use crate::error::VmError;
+use crate::heap::Heap;
+use crate::jmm::JmmGuard;
+use crate::monitor::MonitorTable;
+use crate::rewrite::rewrite_program;
+use crate::thread::{ThreadState, VmThread};
+use crate::trace::{TraceEvent, TraceRecord};
+use crate::value::Value;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use revmon_core::{
+    CostModel, DetectionStrategy, InversionPolicy, Metrics, Priority, QueueDiscipline, ThreadId,
+    WaitsForGraph,
+};
+use std::collections::VecDeque;
+
+/// Which scheduler drives runnable threads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerKind {
+    /// Plain round-robin, priorities ignored (Jikes RVM 2.2.1; the
+    /// paper's setting for all measurements).
+    #[default]
+    RoundRobin,
+    /// Always run the highest effective-priority runnable thread,
+    /// round-robin within a priority class. Needed for the priority
+    /// inheritance / ceiling ablations to be meaningful.
+    PriorityPreemptive,
+}
+
+/// VM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Priority-inversion strategy.
+    pub policy: InversionPolicy,
+    /// How inversion is detected.
+    pub detection: DetectionStrategy,
+    /// Monitor entry-queue discipline.
+    pub queue_discipline: QueueDiscipline,
+    /// Scheduler flavour.
+    pub scheduler: SchedulerKind,
+    /// Virtual-clock cost model.
+    pub cost: CostModel,
+    /// Whether write barriers are compiled in (the "modified VM"). The
+    /// unmodified VM compiles the benchmark without any barriers.
+    pub barriers: bool,
+    /// Whether the JMM-consistency read guard is active (requires
+    /// `barriers`; the unmodified VM has neither).
+    pub jmm_guard: bool,
+    /// Whether to run the bytecode rewriting pass (rollback scopes +
+    /// synchronized-method wrappers). Without it nothing can be revoked.
+    pub rewrite: bool,
+    /// Run the write-barrier elision analysis (§1.1's compiler
+    /// optimization): stores proven never to execute inside a
+    /// synchronized section skip even the fast-path test.
+    pub elide_barriers: bool,
+    /// RNG seed (for `RandInt`), making runs fully deterministic.
+    pub seed: u64,
+    /// Safety net: abort after this many instructions (0 = unlimited).
+    pub max_steps: u64,
+    /// Heap-object budget: allocations beyond this throw the built-in
+    /// `OutOfMemoryError` (0 = unlimited). There is no GC — the heap is
+    /// an arena.
+    pub max_heap_objects: usize,
+    /// Livelock guard: after this many consecutive revocations of the
+    /// same section execution, further requests are denied until it
+    /// commits (0 = unlimited; the paper's mechanism is unlimited).
+    pub max_consecutive_revocations: u32,
+    /// Strict mode: once any execution of a monitor is marked
+    /// non-revocable, all future executions are too (sticky header bit).
+    pub sticky_nonrevocable: bool,
+    /// Record a [`TraceRecord`] stream for tests/examples.
+    pub trace: bool,
+}
+
+impl VmConfig {
+    /// The paper's **unmodified VM**: plain blocking monitors, no
+    /// barriers, no rewriting — priority inversion unaddressed (but entry
+    /// queues still prioritized, as in the paper's baseline).
+    pub fn unmodified() -> Self {
+        VmConfig {
+            policy: InversionPolicy::Blocking,
+            detection: DetectionStrategy::AtAcquisition,
+            queue_discipline: QueueDiscipline::Priority,
+            scheduler: SchedulerKind::RoundRobin,
+            cost: CostModel::default(),
+            barriers: false,
+            jmm_guard: false,
+            rewrite: false,
+            elide_barriers: false,
+            seed: 0x5eed,
+            max_steps: 0,
+            max_heap_objects: 0,
+            max_consecutive_revocations: 0,
+            sticky_nonrevocable: false,
+            trace: false,
+        }
+    }
+
+    /// The paper's **modified VM**: revocable monitors with write
+    /// barriers, the rewrite pass, detection at acquisition and the JMM
+    /// guard.
+    pub fn modified() -> Self {
+        VmConfig {
+            policy: InversionPolicy::Revocation,
+            barriers: true,
+            jmm_guard: true,
+            rewrite: true,
+            ..Self::unmodified()
+        }
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder-style: enable tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builder-style: enable write-barrier elision.
+    pub fn with_elision(mut self) -> Self {
+        self.elide_barriers = true;
+        self
+    }
+
+    /// Builder-style: set the step safety limit.
+    pub fn with_max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        Self::modified()
+    }
+}
+
+/// Per-thread results.
+#[derive(Clone, Debug)]
+pub struct ThreadReport {
+    /// Thread identity.
+    pub id: ThreadId,
+    /// Thread name.
+    pub name: String,
+    /// Base priority.
+    pub priority: Priority,
+    /// Virtual time of first dispatch (the paper's "first time-stamp at
+    /// the beginning of the run() method").
+    pub start_time: u64,
+    /// Virtual time of termination.
+    pub end_time: u64,
+    /// Counters.
+    pub metrics: Metrics,
+    /// Class tag of an uncaught exception, if one killed the thread.
+    pub uncaught: Option<u32>,
+}
+
+impl ThreadReport {
+    /// Elapsed virtual time of this thread's `run()`.
+    pub fn elapsed(&self) -> u64 {
+        self.end_time.saturating_sub(self.start_time)
+    }
+}
+
+/// Per-monitor results.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorReport {
+    /// The monitor object.
+    pub object: crate::value::ObjRef,
+    /// Total acquisitions.
+    pub acquires: u64,
+    /// Blocking episodes.
+    pub contended: u64,
+    /// Largest entry-queue length observed.
+    pub peak_queue: usize,
+}
+
+/// Whole-run results.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Final virtual-clock value.
+    pub clock: u64,
+    /// Per-thread reports.
+    pub threads: Vec<ThreadReport>,
+    /// Aggregated counters (sum of per-thread + VM-global events).
+    pub global: Metrics,
+    /// Values emitted by `Native(Emit/Print)`.
+    pub output: Vec<Value>,
+    /// Per-monitor contention profile (every object ever synchronized
+    /// on), sorted by contention.
+    pub monitors: Vec<MonitorReport>,
+}
+
+impl RunReport {
+    /// The paper's headline metric: elapsed time from the earliest start
+    /// to the latest end across threads with base priority ≥ `cut`
+    /// (§4.1's total elapsed time of high-priority threads).
+    pub fn elapsed_for(&self, cut: Priority) -> u64 {
+        let sel: Vec<&ThreadReport> =
+            self.threads.iter().filter(|t| t.priority >= cut).collect();
+        let start = sel.iter().map(|t| t.start_time).min().unwrap_or(0);
+        let end = sel.iter().map(|t| t.end_time).max().unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    /// Overall elapsed time (all threads).
+    pub fn overall_elapsed(&self) -> u64 {
+        self.elapsed_for(Priority::MIN)
+    }
+
+    /// A multi-line human-readable summary of the run (used by the CLI's
+    /// `--stats` and handy in examples).
+    pub fn summary(&self) -> String {
+        let g = &self.global;
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "virtual clock      : {}", self.clock);
+        let _ = writeln!(out, "threads            : {}", self.threads.len());
+        let _ = writeln!(out, "instructions       : {}", g.instructions);
+        let _ = writeln!(
+            out,
+            "monitor acquires   : {} ({} contended)",
+            g.monitor_acquires, g.contended_acquires
+        );
+        let _ = writeln!(out, "context switches   : {}", g.context_switches);
+        let _ = writeln!(out, "log entries        : {}", g.log_entries);
+        let _ = writeln!(out, "revocations req.   : {}", g.revocations_requested);
+        let _ = writeln!(
+            out,
+            "rollbacks          : {} ({} entries restored)",
+            g.rollbacks, g.entries_rolled_back
+        );
+        let _ = writeln!(
+            out,
+            "inversions         : {} detected, {} unresolved",
+            g.inversions_detected, g.inversions_unresolved
+        );
+        let _ = writeln!(out, "non-revocable marks: {}", g.monitors_marked_nonrevocable);
+        let _ = writeln!(
+            out,
+            "deadlocks          : {} detected, {} broken",
+            g.deadlocks_detected, g.deadlocks_broken
+        );
+        let _ = writeln!(
+            out,
+            "barriers           : {} fast paths, {} elided",
+            g.barrier_fast_paths, g.barriers_elided
+        );
+        out
+    }
+}
+
+/// The virtual machine.
+pub struct Vm {
+    /// The (possibly rewritten) program.
+    pub(crate) program: Program,
+    pub(crate) heap: Heap,
+    pub(crate) monitors: MonitorTable,
+    pub(crate) threads: Vec<VmThread>,
+    pub(crate) run_queue: VecDeque<ThreadId>,
+    pub(crate) clock: u64,
+    pub(crate) quantum_left: u64,
+    pub(crate) rng: SmallRng,
+    pub(crate) jmm: JmmGuard,
+    pub(crate) graph: WaitsForGraph,
+    pub(crate) config: VmConfig,
+    /// VM-global counters (per-thread counters live on the threads).
+    pub(crate) global: Metrics,
+    pub(crate) next_acq_id: u64,
+    pub(crate) output: Vec<Value>,
+    pub(crate) last_dispatched: Option<ThreadId>,
+    pub(crate) steps: u64,
+    pub(crate) next_background_scan: u64,
+    pub(crate) trace: Vec<TraceRecord>,
+    /// Static write-barrier elision table (when `elide_barriers`).
+    pub(crate) elision: Option<crate::analysis::ElisionTable>,
+    /// Threads blocked in `Join`, keyed by the thread they wait for.
+    pub(crate) join_waiters: std::collections::HashMap<ThreadId, Vec<ThreadId>>,
+}
+
+impl Vm {
+    /// Build a VM for `program` under `config` (running the rewrite pass
+    /// if configured).
+    ///
+    /// The final program — after rewriting — is passed through the
+    /// [bytecode verifier](crate::verify); a malformed program is a host
+    /// bug and panics here. Use [`Vm::try_new`] to inspect the failures
+    /// instead.
+    pub fn new(program: Program, config: VmConfig) -> Self {
+        match Self::try_new(program, config) {
+            Ok(vm) => vm,
+            Err(errors) => {
+                let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+                panic!("program failed verification:\n  {}", msgs.join("\n  "));
+            }
+        }
+    }
+
+    /// Like [`Vm::new`] but returns the verifier's findings instead of
+    /// panicking.
+    pub fn try_new(
+        program: Program,
+        config: VmConfig,
+    ) -> Result<Self, Vec<crate::verify::VerifyError>> {
+        let program = if config.rewrite { rewrite_program(&program) } else { program };
+        crate::verify::verify_program(&program)?;
+        Ok(Self::new_unverified(program, config))
+    }
+
+    /// Construct without verification (the program must already have been
+    /// rewritten if the config asks for revocation support).
+    fn new_unverified(program: Program, config: VmConfig) -> Self {
+        let mut heap = Heap::new(program.n_statics as usize);
+        for &s in &program.volatile_statics {
+            heap.declare_static_volatile(s).expect("volatile static in range");
+        }
+        let bg = match config.detection {
+            DetectionStrategy::Background { period } => period,
+            DetectionStrategy::AtAcquisition => u64::MAX,
+        };
+        let elision = config.elide_barriers.then(|| crate::analysis::analyze(&program));
+        Vm {
+            program,
+            heap,
+            monitors: MonitorTable::new(config.queue_discipline),
+            threads: Vec::new(),
+            run_queue: VecDeque::new(),
+            clock: 0,
+            quantum_left: 0,
+            rng: SmallRng::seed_from_u64(config.seed),
+            jmm: JmmGuard::new(),
+            graph: WaitsForGraph::new(),
+            config,
+            global: Metrics::new(),
+            next_acq_id: 0,
+            output: Vec::new(),
+            last_dispatched: None,
+            steps: 0,
+            next_background_scan: bg,
+            trace: Vec::new(),
+            elision,
+            join_waiters: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The barrier-elision table, if the analysis ran (diagnostics).
+    pub fn elision_table(&self) -> Option<&crate::analysis::ElisionTable> {
+        self.elision.as_ref()
+    }
+
+    /// The rewritten program actually executing (for tests inspecting
+    /// injected scopes).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Direct heap access (setting up benchmark data structures from the
+    /// host before the run, and inspecting results after).
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Read-only heap access.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Spawn a thread executing `method(args…)` at `priority`.
+    pub fn spawn(
+        &mut self,
+        name: &str,
+        method: MethodId,
+        args: Vec<Value>,
+        priority: Priority,
+    ) -> ThreadId {
+        let m = self.program.method(method);
+        assert_eq!(args.len(), m.params as usize, "wrong argument count for {}", m.name);
+        let locals = m.locals;
+        let id = ThreadId(self.threads.len() as u32);
+        let t = VmThread::new(id, name.to_string(), priority, method, locals, args);
+        self.threads.push(t);
+        self.run_queue.push_back(id);
+        id
+    }
+
+    pub(crate) fn emit_trace(&mut self, event: TraceEvent) {
+        if self.config.trace {
+            self.trace.push(TraceRecord { at: self.clock, event });
+        }
+    }
+
+    /// Consume the recorded trace.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Charge `ticks` to the virtual clock and the current quantum.
+    #[inline]
+    pub(crate) fn charge(&mut self, ticks: u64) {
+        self.clock += ticks;
+        self.quantum_left = self.quantum_left.saturating_sub(ticks);
+    }
+
+    pub(crate) fn thread(&self, tid: ThreadId) -> &VmThread {
+        &self.threads[tid.index()]
+    }
+
+    pub(crate) fn thread_mut(&mut self, tid: ThreadId) -> &mut VmThread {
+        &mut self.threads[tid.index()]
+    }
+
+    /// Make a thread runnable (push to run queue and set `Ready`).
+    pub(crate) fn make_ready(&mut self, tid: ThreadId) {
+        self.thread_mut(tid).state = ThreadState::Ready;
+        self.run_queue.push_back(tid);
+    }
+
+    /// Run until every thread terminates. Returns the report, or an error
+    /// if the machine faults or stalls.
+    pub fn run(&mut self) -> Result<RunReport, VmError> {
+        loop {
+            self.background_scan_if_due()?;
+            self.wake_sleepers();
+            let Some(tid) = self.pick_next() else {
+                // No runnable threads: advance to the earliest sleeper,
+                // finish, or report a stall.
+                if let Some(wake) = self
+                    .threads
+                    .iter()
+                    .filter_map(|t| match t.state {
+                        ThreadState::Sleeping(until) => Some(until),
+                        _ => None,
+                    })
+                    .min()
+                {
+                    self.clock = self.clock.max(wake);
+                    self.wake_sleepers();
+                    continue;
+                }
+                if self.threads.iter().all(|t| t.is_terminated()) {
+                    break;
+                }
+                let blocked: Vec<ThreadId> = self
+                    .threads
+                    .iter()
+                    .filter(|t| !t.is_terminated())
+                    .map(|t| t.id)
+                    .collect();
+                return Err(VmError::Stalled(blocked));
+            };
+            self.dispatch(tid)?;
+        }
+        Ok(self.report())
+    }
+
+    /// Produce the report for the current machine state.
+    pub fn report(&self) -> RunReport {
+        let mut global = self.global;
+        let threads: Vec<ThreadReport> = self
+            .threads
+            .iter()
+            .map(|t| {
+                global.merge(&t.metrics);
+                ThreadReport {
+                    id: t.id,
+                    name: t.name.clone(),
+                    priority: t.base_priority,
+                    start_time: t.start_time.unwrap_or(0),
+                    end_time: t.end_time.unwrap_or(self.clock),
+                    metrics: t.metrics,
+                    uncaught: t.uncaught,
+                }
+            })
+            .collect();
+        let mut monitors: Vec<MonitorReport> = self
+            .monitors
+            .iter()
+            .map(|(&object, m)| MonitorReport {
+                object,
+                acquires: m.acquires,
+                contended: m.contended,
+                peak_queue: m.peak_queue,
+            })
+            .collect();
+        monitors.sort_by_key(|m| std::cmp::Reverse((m.contended, m.acquires)));
+        RunReport { clock: self.clock, threads, global, output: self.output.clone(), monitors }
+    }
+
+    /// Pick the next thread to dispatch. Skips stale queue entries
+    /// (threads re-queued then blocked again).
+    fn pick_next(&mut self) -> Option<ThreadId> {
+        match self.config.scheduler {
+            SchedulerKind::RoundRobin => loop {
+                let tid = self.run_queue.pop_front()?;
+                if self.thread(tid).state == ThreadState::Ready {
+                    return Some(tid);
+                }
+            },
+            SchedulerKind::PriorityPreemptive => {
+                // Highest effective priority; FIFO within class.
+                let mut best: Option<(usize, Priority)> = None;
+                for (i, &tid) in self.run_queue.iter().enumerate() {
+                    if self.thread(tid).state != ThreadState::Ready {
+                        continue;
+                    }
+                    let p = self.thread(tid).effective_priority;
+                    match best {
+                        None => best = Some((i, p)),
+                        Some((_, bp)) if p > bp => best = Some((i, p)),
+                        _ => {}
+                    }
+                }
+                let (i, _) = best?;
+                self.run_queue.remove(i)
+            }
+        }
+    }
+
+    fn wake_sleepers(&mut self) {
+        let now = self.clock;
+        let due: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .filter(|t| matches!(t.state, ThreadState::Sleeping(u) if u <= now))
+            .map(|t| t.id)
+            .collect();
+        for tid in due {
+            self.make_ready(tid);
+        }
+    }
+
+    /// Run `tid` until it blocks, sleeps, terminates, or exhausts its
+    /// quantum at a yield point.
+    fn dispatch(&mut self, tid: ThreadId) -> Result<(), VmError> {
+        if self.last_dispatched != Some(tid) {
+            self.charge(self.config.cost.context_switch);
+            self.thread_mut(tid).metrics.context_switches += 1;
+        }
+        self.last_dispatched = Some(tid);
+        self.quantum_left = self.config.cost.quantum;
+        {
+            let clock = self.clock;
+            let t = self.thread_mut(tid);
+            t.state = ThreadState::Running;
+            if t.start_time.is_none() {
+                t.start_time = Some(clock);
+            }
+        }
+        // Dispatch start is a yield point: act on pending revocations.
+        let mut at_yield_point = true;
+        loop {
+            if at_yield_point && self.thread(tid).pending_revoke.is_some() {
+                self.perform_revocation(tid)?;
+                if self.thread(tid).state != ThreadState::Running {
+                    return Ok(()); // rollback left it re-acquiring
+                }
+            }
+            if at_yield_point && self.quantum_left == 0 {
+                // Time slice over: rotate.
+                self.make_ready(tid);
+                return Ok(());
+            }
+            self.steps += 1;
+            if self.config.max_steps != 0 && self.steps > self.config.max_steps {
+                return Err(VmError::StepLimit(self.config.max_steps));
+            }
+            match self.step(tid)? {
+                StepOutcome::Continue { yield_point } => at_yield_point = yield_point,
+                StepOutcome::Descheduled => return Ok(()),
+                StepOutcome::Terminated => {
+                    self.thread_mut(tid).end_time = Some(self.clock);
+                    // Wake any joiners.
+                    if let Some(waiters) = self.join_waiters.remove(&tid) {
+                        for w in waiters {
+                            self.make_ready(w);
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Background inversion detection (§1.1's "periodically in the
+    /// background" option): scan all contended monitors for a waiter with
+    /// priority above the deposited holder priority.
+    fn background_scan_if_due(&mut self) -> Result<(), VmError> {
+        let DetectionStrategy::Background { period } = self.config.detection else {
+            return Ok(());
+        };
+        if self.clock < self.next_background_scan {
+            return Ok(());
+        }
+        self.next_background_scan = self.clock + period;
+        let contended: Vec<(crate::value::ObjRef, ThreadId, Priority)> = self
+            .monitors
+            .iter()
+            .filter_map(|(&obj, m)| {
+                let owner = m.owner?;
+                let top = m.queue.max_waiting_priority()?;
+                (top > m.holder_priority).then_some((obj, owner, top))
+            })
+            .collect();
+        for (obj, owner, _top) in contended {
+            // Re-use the acquisition-time request path; requester identity
+            // is synthesized from the queue's best waiter.
+            let by = self
+                .monitors
+                .get(obj)
+                .and_then(|m| m.queue.iter().next().copied())
+                .unwrap_or(owner);
+            self.request_revocation(by, owner, obj)?;
+        }
+        Ok(())
+    }
+}
+
+/// What one interpreter step produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Keep running this thread; `yield_point` marks quantum/revocation
+    /// check sites.
+    Continue {
+        /// Whether the executed instruction was a yield point.
+        yield_point: bool,
+    },
+    /// The thread blocked, slept, or was otherwise descheduled (state
+    /// already updated).
+    Descheduled,
+    /// The thread finished its root method.
+    Terminated,
+}

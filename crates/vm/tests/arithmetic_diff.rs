@@ -1,0 +1,113 @@
+//! Differential testing of the interpreter's arithmetic against Rust's
+//! own (wrapping) semantics: random expression trees are compiled through
+//! the builder and evaluated by the VM; results must agree bit-for-bit.
+
+use proptest::prelude::*;
+use revmon_core::Priority;
+use revmon_vm::builder::{MethodBuilder, ProgramBuilder};
+use revmon_vm::value::Value;
+use revmon_vm::{Vm, VmConfig};
+
+#[derive(Clone, Debug)]
+enum Expr {
+    Lit(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Rem(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = (-1_000_000i64..1_000_000).prop_map(Expr::Lit);
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Div(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Rem(a.into(), b.into())),
+            inner.clone().prop_map(|a| Expr::Neg(a.into())),
+        ]
+    })
+}
+
+/// Rust-side evaluation with the VM's semantics: wrapping arithmetic,
+/// `None` = the VM would throw ArithmeticException (division by zero).
+fn eval(e: &Expr) -> Option<i64> {
+    Some(match e {
+        Expr::Lit(v) => *v,
+        Expr::Add(a, b) => eval(a)?.wrapping_add(eval(b)?),
+        Expr::Sub(a, b) => eval(a)?.wrapping_sub(eval(b)?),
+        Expr::Mul(a, b) => eval(a)?.wrapping_mul(eval(b)?),
+        Expr::Div(a, b) => eval(a)?.checked_div(eval(b)?)?,
+        Expr::Rem(a, b) => eval(a)?.checked_rem(eval(b)?)?,
+        Expr::Neg(a) => eval(a)?.wrapping_neg(),
+    })
+}
+
+fn emit(b: &mut MethodBuilder, e: &Expr) {
+    match e {
+        Expr::Lit(v) => b.const_i(*v),
+        Expr::Add(x, y) => {
+            emit(b, x);
+            emit(b, y);
+            b.add();
+        }
+        Expr::Sub(x, y) => {
+            emit(b, x);
+            emit(b, y);
+            b.sub();
+        }
+        Expr::Mul(x, y) => {
+            emit(b, x);
+            emit(b, y);
+            b.mul();
+        }
+        Expr::Div(x, y) => {
+            emit(b, x);
+            emit(b, y);
+            b.div();
+        }
+        Expr::Rem(x, y) => {
+            emit(b, x);
+            emit(b, y);
+            b.rem();
+        }
+        Expr::Neg(x) => {
+            emit(b, x);
+            b.neg();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn vm_arithmetic_matches_rust(e in expr_strategy()) {
+        let mut pb = ProgramBuilder::new();
+        pb.statics(1);
+        let m = pb.declare_method("main", 0);
+        let mut b = MethodBuilder::new(0, 0);
+        emit(&mut b, &e);
+        b.put_static(0);
+        b.ret_void();
+        pb.implement(m, b);
+        let mut vm = Vm::new(pb.finish(), VmConfig::unmodified());
+        vm.spawn("main", m, vec![], Priority::NORM);
+        let report = vm.run().expect("vm never faults on arithmetic");
+        match eval(&e) {
+            Some(expected) => {
+                prop_assert_eq!(report.threads[0].uncaught, None);
+                prop_assert_eq!(vm.read_static(0).unwrap(), Value::Int(expected));
+            }
+            None => {
+                // Division by zero: the VM throws ArithmeticException,
+                // which (uncaught) terminates the thread.
+                prop_assert_eq!(report.threads[0].uncaught, Some(revmon_vm::ARITH_TAG));
+            }
+        }
+    }
+}

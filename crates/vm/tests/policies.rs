@@ -1,0 +1,285 @@
+//! Policy baselines: priority inheritance, priority ceiling, and the
+//! classic unbounded-inversion scenario (Mars-Pathfinder shape) under a
+//! priority-preemptive scheduler.
+
+mod common;
+
+use common::counting_section_program;
+use revmon_core::{InversionPolicy, Priority};
+use revmon_vm::builder::{MethodBuilder, ProgramBuilder};
+use revmon_vm::bytecode::{MethodId, Program};
+use revmon_vm::value::Value;
+use revmon_vm::{SchedulerKind, Vm, VmConfig};
+
+/// The classic three-thread inversion:
+/// * `low` takes the lock and works inside it,
+/// * `med` is pure CPU hog (no locks),
+/// * `high` arrives shortly after and needs the lock.
+///
+/// Under a priority-preemptive scheduler with plain blocking, `med`
+/// starves `low`, so `high` waits for both; with inheritance, `low` runs
+/// at high priority and `high` waits only for the critical section; with
+/// revocation, `high` preempts the section outright.
+fn pathfinder_program() -> (Program, MethodId, MethodId, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(2);
+
+    // low(lock, iters): one long section.
+    let low = pb.declare_method("low", 2);
+    let mut b = MethodBuilder::new(2, 3);
+    b.sync_on_local(0, |b| {
+        b.const_i(0);
+        b.store(2);
+        let top = b.here();
+        b.load(2);
+        b.load(1);
+        let done = b.new_label();
+        b.if_ge(done);
+        b.get_static(0);
+        b.const_i(1);
+        b.add();
+        b.put_static(0);
+        b.load(2);
+        b.const_i(1);
+        b.add();
+        b.store(2);
+        b.goto(top);
+        b.place(done);
+    });
+    b.ret_void();
+    pb.implement(low, b);
+
+    // med(iters): lock-free spin on static 1.
+    let med = pb.declare_method("med", 1);
+    let mut m = MethodBuilder::new(1, 2);
+    m.const_i(5_000); // let `low` take the lock first
+    m.sleep();
+    m.const_i(0);
+    m.store(1);
+    let top = m.here();
+    m.load(1);
+    m.load(0);
+    let done = m.new_label();
+    m.if_ge(done);
+    m.get_static(1);
+    m.const_i(1);
+    m.add();
+    m.put_static(1);
+    m.load(1);
+    m.const_i(1);
+    m.add();
+    m.store(1);
+    m.goto(top);
+    m.place(done);
+    m.ret_void();
+    pb.implement(med, m);
+
+    // high(lock): arrives a bit later, needs one tiny section.
+    let high = pb.declare_method("high", 1);
+    let mut h = MethodBuilder::new(1, 1);
+    h.const_i(10_000);
+    h.sleep();
+    h.sync_on_local(0, |b| {
+        b.get_static(0);
+        b.const_i(1);
+        b.add();
+        b.put_static(0);
+    });
+    h.ret_void();
+    pb.implement(high, h);
+
+    (pb.finish(), low, med, high)
+}
+
+fn run_pathfinder(policy: InversionPolicy) -> revmon_vm::RunReport {
+    let (p, low, med, high) = pathfinder_program();
+    let mut cfg = match policy {
+        InversionPolicy::Revocation => VmConfig::modified(),
+        _ => VmConfig::unmodified(),
+    };
+    cfg.policy = policy;
+    cfg.scheduler = SchedulerKind::PriorityPreemptive;
+    let mut vm = Vm::new(p, cfg);
+    let lock = vm.heap_mut().alloc(0, 0);
+    vm.spawn("low", low, vec![Value::Ref(lock), Value::Int(30_000)], Priority::LOW);
+    vm.spawn("med", med, vec![Value::Int(200_000)], Priority::NORM);
+    vm.spawn("high", high, vec![Value::Ref(lock)], Priority::HIGH);
+    let report = vm.run().expect("run completes");
+    // Whatever the policy, the counter is exact.
+    assert_eq!(
+        report.threads.iter().map(|t| t.metrics.rollbacks).sum::<u64>() >= 1,
+        policy == InversionPolicy::Revocation
+    );
+    report
+}
+
+fn high_elapsed(r: &revmon_vm::RunReport) -> u64 {
+    r.threads.iter().find(|t| t.name == "high").unwrap().elapsed()
+}
+
+#[test]
+fn blocking_exhibits_unbounded_inversion() {
+    let blocking = run_pathfinder(InversionPolicy::Blocking);
+    let pi = run_pathfinder(InversionPolicy::PriorityInheritance);
+    // Under blocking, `high` waits for med's entire CPU burst; under PI
+    // the wait is only the remainder of low's section.
+    assert!(
+        high_elapsed(&blocking) > 2 * high_elapsed(&pi),
+        "blocking={} pi={}",
+        high_elapsed(&blocking),
+        high_elapsed(&pi)
+    );
+}
+
+#[test]
+fn priority_inheritance_boosts_the_holder() {
+    let pi = run_pathfinder(InversionPolicy::PriorityInheritance);
+    let low = pi.threads.iter().find(|t| t.name == "low").unwrap();
+    assert!(low.metrics.priority_boosts >= 1, "holder must inherit priority");
+}
+
+#[test]
+fn revocation_beats_inheritance_for_high_priority_latency() {
+    let pi = run_pathfinder(InversionPolicy::PriorityInheritance);
+    let rv = run_pathfinder(InversionPolicy::Revocation);
+    // Revocation does not wait for the remainder of the section at all.
+    assert!(
+        high_elapsed(&rv) <= high_elapsed(&pi),
+        "revocation={} pi={}",
+        high_elapsed(&rv),
+        high_elapsed(&pi)
+    );
+}
+
+#[test]
+fn priority_ceiling_prevents_the_inversion_window() {
+    let ceil = run_pathfinder(InversionPolicy::PriorityCeiling(Priority::MAX));
+    let blocking = run_pathfinder(InversionPolicy::Blocking);
+    // With the ceiling at MAX, `low` runs its section above `med`, so
+    // `high` never waits behind the CPU hog.
+    assert!(high_elapsed(&ceil) < high_elapsed(&blocking));
+    let low = ceil.threads.iter().find(|t| t.name == "low").unwrap();
+    assert!(low.metrics.priority_boosts >= 1);
+}
+
+#[test]
+fn all_policies_preserve_atomicity() {
+    for policy in [
+        InversionPolicy::Blocking,
+        InversionPolicy::Revocation,
+        InversionPolicy::PriorityInheritance,
+        InversionPolicy::PriorityCeiling(Priority::MAX),
+    ] {
+        let (p, run) = counting_section_program();
+        let mut cfg = if policy == InversionPolicy::Revocation {
+            VmConfig::modified()
+        } else {
+            VmConfig::unmodified()
+        };
+        cfg.policy = policy;
+        let mut vm = Vm::new(p, cfg);
+        let lock = vm.heap_mut().alloc(0, 0);
+        for i in 0..4 {
+            vm.spawn(
+                &format!("t{i}"),
+                run,
+                vec![Value::Ref(lock), Value::Int(2_000)],
+                if i % 2 == 0 { Priority::LOW } else { Priority::HIGH },
+            );
+        }
+        vm.run().expect("run");
+        assert_eq!(
+            vm.read_static(0).unwrap(),
+            Value::Int(8_000),
+            "policy {policy:?} lost updates"
+        );
+    }
+}
+
+#[test]
+fn transitive_inheritance_chain() {
+    // t0 holds A (LOW). t1 holds B, blocks on A (NORM). t2 (HIGH) blocks
+    // on B: the boost must propagate through t1 to t0.
+    let mut pb = ProgramBuilder::new();
+    pb.statics(1);
+    let hold_then_take = pb.declare_method("hold_then_take", 3);
+    let mut b = MethodBuilder::new(3, 4);
+    // let t0 take its lock first
+    b.const_i(10_000);
+    b.sleep();
+    b.sync_on_local(0, |b| {
+        // spin before taking the second lock
+        b.const_i(0);
+        b.store(3);
+        let top = b.here();
+        b.load(3);
+        b.load(2);
+        let done = b.new_label();
+        b.if_ge(done);
+        b.load(3);
+        b.const_i(1);
+        b.add();
+        b.store(3);
+        b.goto(top);
+        b.place(done);
+        b.sync_on_local(1, |b| {
+            b.get_static(0);
+            b.const_i(1);
+            b.add();
+            b.put_static(0);
+        });
+    });
+    b.ret_void();
+    pb.implement(hold_then_take, b);
+
+    let hold_one = pb.declare_method("hold_one", 2);
+    let mut h1 = MethodBuilder::new(2, 3);
+    h1.sync_on_local(0, |b| {
+        b.const_i(0);
+        b.store(2);
+        let top = b.here();
+        b.load(2);
+        b.load(1);
+        let done = b.new_label();
+        b.if_ge(done);
+        b.load(2);
+        b.const_i(1);
+        b.add();
+        b.store(2);
+        b.goto(top);
+        b.place(done);
+    });
+    h1.ret_void();
+    pb.implement(hold_one, h1);
+
+    let taker = pb.declare_method("taker", 1);
+    let mut t = MethodBuilder::new(1, 1);
+    t.const_i(30_000);
+    t.sleep();
+    t.sync_on_local(0, |b| {
+        b.get_static(0);
+        b.pop();
+    });
+    t.ret_void();
+    pb.implement(taker, t);
+
+    let mut cfg = VmConfig::unmodified();
+    cfg.policy = InversionPolicy::PriorityInheritance;
+    cfg.scheduler = SchedulerKind::PriorityPreemptive;
+    let mut vm = Vm::new(pb.finish(), cfg);
+    let a = vm.heap_mut().alloc(0, 0);
+    let bl = vm.heap_mut().alloc(0, 0);
+    vm.spawn("t0", hold_one, vec![Value::Ref(a), Value::Int(100_000)], Priority::LOW);
+    vm.spawn(
+        "t1",
+        hold_then_take,
+        vec![Value::Ref(bl), Value::Ref(a), Value::Int(5_000)],
+        Priority::NORM,
+    );
+    vm.spawn("t2", taker, vec![Value::Ref(bl)], Priority::HIGH);
+    let report = vm.run().expect("run");
+    let t0 = report.threads.iter().find(|t| t.name == "t0").unwrap();
+    let t1 = report.threads.iter().find(|t| t.name == "t1").unwrap();
+    assert!(t1.metrics.priority_boosts >= 1, "direct boost");
+    assert!(t0.metrics.priority_boosts >= 1, "transitive boost through t1");
+}

@@ -1,0 +1,272 @@
+//! Scheduler semantics: round-robin fairness, quantum preemption at
+//! yield points only, explicit yields, sleep ordering, and the
+//! priority-preemptive variant used by the ablations.
+
+use revmon_core::{CostModel, Priority};
+use revmon_vm::builder::{MethodBuilder, ProgramBuilder};
+use revmon_vm::bytecode::{MethodId, Program};
+use revmon_vm::value::Value;
+use revmon_vm::{SchedulerKind, Vm, VmConfig};
+
+/// `spin(iters)`: a compute loop with a yield point per iteration; when
+/// done, appends its thread ordinal (arg 1) to the output via Emit.
+fn spin_then_emit() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let run = pb.declare_method("run", 2);
+    let mut b = MethodBuilder::new(2, 3);
+    b.const_i(0);
+    b.store(2);
+    let top = b.here();
+    b.load(2);
+    b.load(0);
+    let done = b.new_label();
+    b.if_ge(done);
+    b.load(2);
+    b.const_i(1);
+    b.add();
+    b.store(2);
+    b.goto(top);
+    b.place(done);
+    b.load(1);
+    b.native(revmon_vm::bytecode::NativeOp::Emit);
+    b.ret_void();
+    pb.implement(run, b);
+    (pb.finish(), run)
+}
+
+#[test]
+fn round_robin_interleaves_equal_threads() {
+    // Equal spins: under round-robin all finish within ~one quantum of
+    // each other, in spawn order.
+    let (p, run) = spin_then_emit();
+    let mut vm = Vm::new(p, VmConfig::unmodified());
+    for i in 0..4 {
+        vm.spawn(&format!("t{i}"), run, vec![Value::Int(50_000), Value::Int(i)], Priority::NORM);
+    }
+    let r = vm.run().unwrap();
+    assert_eq!(
+        r.output,
+        vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)],
+        "equal round-robin threads finish in spawn order"
+    );
+    let spans: Vec<u64> = r.threads.iter().map(|t| t.elapsed()).collect();
+    let (min, max) = (spans.iter().min().unwrap(), spans.iter().max().unwrap());
+    // Start/end staggering across n threads is bounded by ~n quanta.
+    assert!(
+        max - min <= 5 * vm_quantum(),
+        "fairness: spans differ by more than the stagger bound: {spans:?}"
+    );
+}
+
+fn vm_quantum() -> u64 {
+    CostModel::default().quantum
+}
+
+#[test]
+fn round_robin_ignores_priorities() {
+    // A HIGH spinner does not finish faster than LOW spinners under
+    // round-robin (the paper's Jikes has no priority scheduler).
+    let (p, run) = spin_then_emit();
+    let mut vm = Vm::new(p, VmConfig::unmodified());
+    vm.spawn("low", run, vec![Value::Int(50_000), Value::Int(0)], Priority::LOW);
+    vm.spawn("high", run, vec![Value::Int(50_000), Value::Int(1)], Priority::HIGH);
+    let r = vm.run().unwrap();
+    assert_eq!(r.output, vec![Value::Int(0), Value::Int(1)], "spawn order, not priority");
+}
+
+#[test]
+fn priority_preemptive_runs_high_first() {
+    let (p, run) = spin_then_emit();
+    let mut cfg = VmConfig::unmodified();
+    cfg.scheduler = SchedulerKind::PriorityPreemptive;
+    let mut vm = Vm::new(p, cfg);
+    vm.spawn("low", run, vec![Value::Int(50_000), Value::Int(0)], Priority::LOW);
+    vm.spawn("high", run, vec![Value::Int(50_000), Value::Int(1)], Priority::HIGH);
+    let r = vm.run().unwrap();
+    assert_eq!(
+        r.output,
+        vec![Value::Int(1), Value::Int(0)],
+        "the high-priority thread runs to completion first"
+    );
+    // And the low thread barely starts before the high one ends.
+    let high = r.threads.iter().find(|t| t.name == "high").unwrap();
+    let low = r.threads.iter().find(|t| t.name == "low").unwrap();
+    assert!(high.end_time <= low.end_time);
+}
+
+#[test]
+fn quantum_bounds_time_slices() {
+    // With 2 equal spinners, context switches happen roughly every
+    // quantum: total switches ≈ total_time / quantum (±margin).
+    let (p, run) = spin_then_emit();
+    let mut vm = Vm::new(p, VmConfig::unmodified());
+    for i in 0..2 {
+        vm.spawn(&format!("t{i}"), run, vec![Value::Int(100_000), Value::Int(i)], Priority::NORM);
+    }
+    let r = vm.run().unwrap();
+    let switches = r.global.context_switches;
+    let expect = r.clock / vm_quantum();
+    assert!(
+        switches >= expect / 2 && switches <= expect * 2 + 4,
+        "switches {switches} vs expected ~{expect}"
+    );
+}
+
+#[test]
+fn long_work_instruction_does_not_deadlock_the_quantum() {
+    // Work charges atomically; quantum accounting must still rotate at
+    // the next yield point.
+    let mut pb = ProgramBuilder::new();
+    let run = pb.declare_method("run", 1);
+    let mut b = MethodBuilder::new(1, 2);
+    b.const_i(0);
+    b.store(1);
+    let top = b.here();
+    b.load(1);
+    b.const_i(5);
+    let done = b.new_label();
+    b.if_ge(done);
+    b.const_i(100_000); // 5 quanta of atomic work
+    b.work();
+    b.load(1);
+    b.const_i(1);
+    b.add();
+    b.store(1);
+    b.goto(top);
+    b.place(done);
+    b.load(0);
+    b.native(revmon_vm::bytecode::NativeOp::Emit);
+    b.ret_void();
+    pb.implement(run, b);
+    let p = pb.finish();
+    let mut vm = Vm::new(p, VmConfig::unmodified());
+    vm.spawn("a", run, vec![Value::Int(0)], Priority::NORM);
+    vm.spawn("b", run, vec![Value::Int(1)], Priority::NORM);
+    let r = vm.run().unwrap();
+    assert_eq!(r.output.len(), 2);
+    assert!(r.global.context_switches >= 2, "the two hogs still alternate");
+}
+
+#[test]
+fn explicit_yield_rotates_immediately() {
+    // Thread a yields every iteration; with tiny loops both threads'
+    // emissions interleave perfectly — a finishes no earlier than b
+    // despite being spawned first, because it gives up its slice.
+    let mut pb = ProgramBuilder::new();
+    let yielder = pb.declare_method("yielder", 1);
+    let mut y = MethodBuilder::new(1, 2);
+    y.const_i(0);
+    y.store(1);
+    let top = y.here();
+    y.load(1);
+    y.const_i(1_000);
+    let done = y.new_label();
+    y.if_ge(done);
+    y.yield_point();
+    y.load(1);
+    y.const_i(1);
+    y.add();
+    y.store(1);
+    y.goto(top);
+    y.place(done);
+    y.load(0);
+    y.native(revmon_vm::bytecode::NativeOp::Emit);
+    y.ret_void();
+    pb.implement(yielder, y);
+    let spinner = pb.declare_method("spinner", 1);
+    let mut s = MethodBuilder::new(1, 2);
+    s.const_i(0);
+    s.store(1);
+    let t2 = s.here();
+    s.load(1);
+    s.const_i(100_000);
+    let d2 = s.new_label();
+    s.if_ge(d2);
+    s.load(1);
+    s.const_i(1);
+    s.add();
+    s.store(1);
+    s.goto(t2);
+    s.place(d2);
+    s.load(0);
+    s.native(revmon_vm::bytecode::NativeOp::Emit);
+    s.ret_void();
+    pb.implement(spinner, s);
+    let mut vm = Vm::new(pb.finish(), VmConfig::unmodified());
+    vm.spawn("yielder", yielder, vec![Value::Int(7)], Priority::NORM);
+    vm.spawn("spinner", spinner, vec![Value::Int(8)], Priority::NORM);
+    let r = vm.run().unwrap();
+    // The spinner (which never yields) finishes first even though it was
+    // spawned second.
+    assert_eq!(r.output, vec![Value::Int(8), Value::Int(7)]);
+    // Each yield hands the spinner a fresh quantum: the yielder pays a
+    // context switch per alternation until the spinner finishes
+    // (~spinner_work / quantum alternations).
+    let yt = r.threads.iter().find(|t| t.name == "yielder").unwrap();
+    assert!(yt.metrics.context_switches >= 20, "got {}", yt.metrics.context_switches);
+}
+
+#[test]
+fn sleepers_wake_in_deadline_order() {
+    let mut pb = ProgramBuilder::new();
+    let run = pb.declare_method("run", 2);
+    let mut b = MethodBuilder::new(2, 2);
+    b.load(1);
+    b.sleep();
+    b.load(0);
+    b.native(revmon_vm::bytecode::NativeOp::Emit);
+    b.ret_void();
+    pb.implement(run, b);
+    let mut vm = Vm::new(pb.finish(), VmConfig::unmodified());
+    // Spawn in reverse deadline order.
+    vm.spawn("c", run, vec![Value::Int(3), Value::Int(300_000)], Priority::NORM);
+    vm.spawn("b", run, vec![Value::Int(2), Value::Int(200_000)], Priority::NORM);
+    vm.spawn("a", run, vec![Value::Int(1), Value::Int(100_000)], Priority::NORM);
+    let r = vm.run().unwrap();
+    assert_eq!(r.output, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    assert!(r.clock >= 300_000);
+}
+
+#[test]
+fn sleeping_threads_do_not_burn_cpu() {
+    // One sleeper + one spinner: the sleeper's wake time is unaffected by
+    // the spinner's work (clock advances during the spin).
+    let mut pb = ProgramBuilder::new();
+    let sleeper = pb.declare_method("sleeper", 0);
+    let mut s = MethodBuilder::new(0, 0);
+    s.const_i(50_000);
+    s.sleep();
+    s.const_i(1);
+    s.native(revmon_vm::bytecode::NativeOp::Emit);
+    s.ret_void();
+    pb.implement(sleeper, s);
+    let (p2, _) = spin_then_emit();
+    let _ = p2;
+    let spinner = pb.declare_method("spinner", 0);
+    let mut sp = MethodBuilder::new(0, 1);
+    sp.const_i(0);
+    sp.store(0);
+    let top = sp.here();
+    sp.load(0);
+    sp.const_i(30_000);
+    let done = sp.new_label();
+    sp.if_ge(done);
+    sp.load(0);
+    sp.const_i(1);
+    sp.add();
+    sp.store(0);
+    sp.goto(top);
+    sp.place(done);
+    sp.const_i(2);
+    sp.native(revmon_vm::bytecode::NativeOp::Emit);
+    sp.ret_void();
+    pb.implement(spinner, sp);
+    let mut vm = Vm::new(pb.finish(), VmConfig::unmodified());
+    vm.spawn("sleeper", sleeper, vec![], Priority::NORM);
+    vm.spawn("spinner", spinner, vec![], Priority::NORM);
+    let r = vm.run().unwrap();
+    let st = r.threads.iter().find(|t| t.name == "sleeper").unwrap();
+    // The sleeper used almost no instructions.
+    assert!(st.metrics.instructions < 20);
+    assert!(r.output.contains(&Value::Int(1)) && r.output.contains(&Value::Int(2)));
+}

@@ -1,0 +1,224 @@
+//! The Java-memory-model consistency scenarios of §2 (Figures 2–4):
+//! when must a monitor become *non-revocable*?
+//!
+//! Run with `cargo run --release --example jmm_consistency`.
+
+use revmon::core::Priority;
+use revmon::vm::builder::{MethodBuilder, ProgramBuilder};
+use revmon::vm::value::Value;
+use revmon::vm::{Vm, VmConfig};
+
+/// Figure 2: thread T writes `v` inside `inner` nested in `outer`,
+/// releases `inner` and keeps computing inside `outer`; T′ then reads `v`
+/// under `inner`. Rolling back `outer` would make T′'s read appear out of
+/// thin air, so the read must pin `outer` non-revocable.
+fn figure2() {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(2); // 0: v, 1: scratch
+    let writer = pb.declare_method("writer", 3);
+    let mut w = MethodBuilder::new(3, 4);
+    w.sync_on_local(0, |b| {
+        b.sync_on_local(1, |b| {
+            b.const_i(1);
+            b.put_static(0); // v = true
+        });
+        b.const_i(0);
+        b.store(3);
+        let top = b.here();
+        b.load(3);
+        b.load(2);
+        let done = b.new_label();
+        b.if_ge(done);
+        b.get_static(1);
+        b.const_i(1);
+        b.add();
+        b.put_static(1);
+        b.load(3);
+        b.const_i(1);
+        b.add();
+        b.store(3);
+        b.goto(top);
+        b.place(done);
+    });
+    w.ret_void();
+    pb.implement(writer, w);
+
+    let reader = pb.declare_method("reader", 1);
+    let mut r = MethodBuilder::new(1, 1);
+    r.const_i(30_000);
+    r.sleep();
+    r.sync_on_local(0, |b| {
+        b.get_static(0); // read v under `inner`
+        b.pop();
+    });
+    r.ret_void();
+    pb.implement(reader, r);
+
+    let contender = pb.declare_method("contender", 1);
+    let mut c = MethodBuilder::new(1, 1);
+    c.const_i(60_000);
+    c.sleep();
+    c.sync_on_local(0, |b| {
+        b.get_static(1);
+        b.pop();
+    });
+    c.ret_void();
+    pb.implement(contender, c);
+
+    let mut vm = Vm::new(pb.finish(), VmConfig::modified());
+    let outer = vm.heap_mut().alloc(0, 0);
+    let inner = vm.heap_mut().alloc(0, 0);
+    vm.spawn(
+        "T",
+        writer,
+        vec![Value::Ref(outer), Value::Ref(inner), Value::Int(50_000)],
+        Priority::LOW,
+    );
+    vm.spawn("T'", reader, vec![Value::Ref(inner)], Priority::LOW);
+    vm.spawn("Th", contender, vec![Value::Ref(outer)], Priority::HIGH);
+    let report = vm.run().expect("run");
+    println!("Figure 2 (bad revocation via nesting):");
+    println!(
+        "  T' read a speculative write  -> sections marked non-revocable: {}",
+        report.global.monitors_marked_nonrevocable
+    );
+    println!(
+        "  Th's inversion went unresolved: {} (T was never rolled back: rollbacks = {})",
+        report.global.inversions_unresolved,
+        report.threads[0].metrics.rollbacks
+    );
+}
+
+/// Figure 3: a volatile write inside monitor M, read by an unmonitored
+/// spinner — same consequence.
+fn figure3() {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(2);
+    pb.volatile_static(0); // vol
+    let writer = pb.declare_method("writer", 2);
+    let mut w = MethodBuilder::new(2, 3);
+    w.sync_on_local(0, |b| {
+        b.const_i(1);
+        b.put_static(0); // volatile write inside M
+        b.const_i(0);
+        b.store(2);
+        let top = b.here();
+        b.load(2);
+        b.load(1);
+        let done = b.new_label();
+        b.if_ge(done);
+        b.get_static(1);
+        b.const_i(1);
+        b.add();
+        b.put_static(1);
+        b.load(2);
+        b.const_i(1);
+        b.add();
+        b.store(2);
+        b.goto(top);
+        b.place(done);
+    });
+    w.ret_void();
+    pb.implement(writer, w);
+
+    let reader = pb.declare_method("reader", 0);
+    let mut r = MethodBuilder::new(0, 0);
+    let spin = r.here();
+    r.get_static(0); // unmonitored volatile read
+    let seen = r.new_label();
+    r.if_non_zero(seen);
+    r.goto(spin);
+    r.place(seen);
+    r.ret_void();
+    pb.implement(reader, r);
+
+    let contender = pb.declare_method("contender", 1);
+    let mut c = MethodBuilder::new(1, 1);
+    c.const_i(60_000);
+    c.sleep();
+    c.sync_on_local(0, |b| {
+        b.get_static(1);
+        b.pop();
+    });
+    c.ret_void();
+    pb.implement(contender, c);
+
+    let mut vm = Vm::new(pb.finish(), VmConfig::modified());
+    let m = vm.heap_mut().alloc(0, 0);
+    vm.spawn("T", writer, vec![Value::Ref(m), Value::Int(50_000)], Priority::LOW);
+    vm.spawn("T'", reader, vec![], Priority::LOW);
+    vm.spawn("Th", contender, vec![Value::Ref(m)], Priority::HIGH);
+    let report = vm.run().expect("run");
+    println!("\nFigure 3 (bad revocation via volatile):");
+    println!(
+        "  unmonitored volatile read pinned M -> non-revocable marks: {}, T rollbacks: {}",
+        report.global.monitors_marked_nonrevocable, report.threads[0].metrics.rollbacks
+    );
+}
+
+/// Control: the same nesting with no cross-thread read — revocation
+/// proceeds normally.
+fn control() {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(2);
+    let writer = pb.declare_method("writer", 3);
+    let mut w = MethodBuilder::new(3, 4);
+    w.sync_on_local(0, |b| {
+        b.sync_on_local(1, |b| {
+            b.const_i(1);
+            b.put_static(0);
+        });
+        b.const_i(0);
+        b.store(3);
+        let top = b.here();
+        b.load(3);
+        b.load(2);
+        let done = b.new_label();
+        b.if_ge(done);
+        b.get_static(1);
+        b.const_i(1);
+        b.add();
+        b.put_static(1);
+        b.load(3);
+        b.const_i(1);
+        b.add();
+        b.store(3);
+        b.goto(top);
+        b.place(done);
+    });
+    w.ret_void();
+    pb.implement(writer, w);
+    let contender = pb.declare_method("contender", 1);
+    let mut c = MethodBuilder::new(1, 1);
+    c.const_i(60_000);
+    c.sleep();
+    c.sync_on_local(0, |b| {
+        b.get_static(1);
+        b.pop();
+    });
+    c.ret_void();
+    pb.implement(contender, c);
+
+    let mut vm = Vm::new(pb.finish(), VmConfig::modified());
+    let outer = vm.heap_mut().alloc(0, 0);
+    let inner = vm.heap_mut().alloc(0, 0);
+    vm.spawn(
+        "T",
+        writer,
+        vec![Value::Ref(outer), Value::Ref(inner), Value::Int(50_000)],
+        Priority::LOW,
+    );
+    vm.spawn("Th", contender, vec![Value::Ref(outer)], Priority::HIGH);
+    let report = vm.run().expect("run");
+    println!("\nControl (no cross-thread observation of speculative state):");
+    println!(
+        "  non-revocable marks: {}, T rollbacks: {} — revocation worked normally",
+        report.global.monitors_marked_nonrevocable, report.threads[0].metrics.rollbacks
+    );
+}
+
+fn main() {
+    figure2();
+    figure3();
+    control();
+}

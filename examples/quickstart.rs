@@ -1,0 +1,80 @@
+//! Quickstart: revocable monitors over real OS threads.
+//!
+//! A high-priority auditor and several low-priority batch writers share
+//! one account ledger. With revocable monitors the auditor preempts any
+//! batch writer caught mid-section: the writer's partial updates are
+//! rolled back, the auditor runs, and the writer retries — no priority
+//! inversion, no torn state.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use revmon::locks::{RevocableMonitor, TCell};
+use revmon::core::Priority;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+fn main() {
+    let ledger = Arc::new(RevocableMonitor::new());
+    let checking = TCell::new(1_000i64);
+    let savings = TCell::new(5_000i64);
+
+    // Four low-priority batch writers shuffle money in long sections.
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let m = Arc::clone(&ledger);
+            let (c, s) = (checking.clone(), savings.clone());
+            thread::spawn(move || {
+                for _ in 0..200 {
+                    m.enter(Priority::LOW, |tx| {
+                        // a deliberately long synchronized section
+                        for _ in 0..500 {
+                            let amount = 1 + (w as i64);
+                            tx.update(&c, |v| v - amount);
+                            tx.update(&s, |v| v + amount);
+                            tx.update(&c, |v| v + amount);
+                            tx.update(&s, |v| v - amount);
+                        }
+                    });
+                }
+            })
+        })
+        .collect();
+
+    // One high-priority auditor needs consistent snapshots *now*.
+    let auditor = {
+        let m = Arc::clone(&ledger);
+        let (c, s) = (checking.clone(), savings.clone());
+        thread::spawn(move || {
+            let mut worst = std::time::Duration::ZERO;
+            for _ in 0..100 {
+                let t0 = Instant::now();
+                let total = m.enter(Priority::HIGH, |tx| tx.read(&c) + tx.read(&s));
+                worst = worst.max(t0.elapsed());
+                // The invariant must hold in every snapshot, even ones
+                // taken right after a revocation.
+                assert_eq!(total, 6_000, "torn snapshot!");
+                thread::yield_now();
+            }
+            worst
+        })
+    };
+
+    let worst = auditor.join().unwrap();
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    let st = ledger.stats();
+    println!("final balances : checking={} savings={}",
+        checking.read_unsynchronized(), savings.read_unsynchronized());
+    println!("auditor worst-case monitor latency: {worst:?}");
+    println!(
+        "monitor stats  : {} acquires, {} contended, {} revocations requested, \
+         {} rollbacks ({} entries restored), {} commits",
+        st.acquires, st.contended, st.revocations_requested, st.rollbacks,
+        st.entries_rolled_back, st.commits
+    );
+    assert_eq!(checking.read_unsynchronized() + savings.read_unsynchronized(), 6_000);
+    println!("invariant held through every revocation ✓");
+}

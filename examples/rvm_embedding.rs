@@ -1,0 +1,122 @@
+//! Embedding the VM: load assembly text at runtime, sweep configurations,
+//! and inspect the run report programmatically — the library-level
+//! counterpart of the `revmon` CLI.
+//!
+//! Run with `cargo run --release --example rvm_embedding`.
+
+use revmon::core::Priority;
+use revmon::vm::{assemble, SchedulerKind, Vm, VmConfig};
+
+const PROGRAM: &str = r#"
+; two low-priority writers vs one high-priority reader on a shared table
+.statics 1
+
+.method writer params=2 locals=3
+    sync l0 {
+        const 0
+        store l2
+    loop:
+        load l2
+        load l1
+        if_ge done
+        getstatic s0
+        const 1
+        add
+        putstatic s0
+        load l2
+        const 1
+        add
+        store l2
+        goto loop
+    done:
+    }
+    retvoid
+.end
+
+.method reader params=1 locals=1
+    const 40000
+    sleep
+    sync l0 {
+        getstatic s0
+        pop
+    }
+    retvoid
+.end
+
+.method main params=0 locals=1
+    new class=0 fields=0
+    store l0
+    load l0
+    const 30000
+    const 2
+    spawn writer
+    pop
+    load l0
+    const 30000
+    const 2
+    spawn writer
+    pop
+    load l0
+    const 8
+    spawn reader
+    pop
+    retvoid
+.end
+"#;
+
+fn main() {
+    let program = assemble(PROGRAM).expect("assembly parses");
+    println!(
+        "loaded {} methods, {} statics\n",
+        program.methods.len(),
+        program.n_statics
+    );
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>10} {:>12}",
+        "configuration", "clock", "reader-span", "rollbacks", "contended"
+    );
+    let configs: Vec<(&str, VmConfig)> = vec![
+        ("unmodified (blocking)", VmConfig::unmodified()),
+        ("modified (revocation)", VmConfig::modified()),
+        ("modified + elision", VmConfig::modified().with_elision()),
+        ("modified, preemptive scheduler", {
+            let mut c = VmConfig::modified();
+            c.scheduler = SchedulerKind::PriorityPreemptive;
+            c
+        }),
+    ];
+    for (name, cfg) in configs {
+        let mut vm = Vm::new(program.clone(), cfg);
+        let main = program.method_by_name("main").unwrap();
+        vm.spawn("main", main, vec![], Priority::NORM);
+        let report = vm.run().expect("run");
+        let reader = report
+            .threads
+            .iter()
+            .find(|t| t.name.starts_with("spawn") && t.metrics.rollbacks == 0 && t.elapsed() > 0)
+            .map(|t| t.elapsed());
+        // the reader is the last spawned thread
+        let reader_span = report.threads.last().map(|t| t.elapsed()).unwrap_or(0);
+        let _ = reader;
+        println!(
+            "{:<34} {:>12} {:>12} {:>10} {:>12}",
+            name,
+            report.clock,
+            reader_span,
+            report.global.rollbacks,
+            report.global.contended_acquires
+        );
+        if name == "modified (revocation)" {
+            // per-monitor contention profile, programmatically
+            for m in &report.monitors {
+                println!(
+                    "    monitor {}: {} acquires, {} contended, peak queue {}",
+                    m.object, m.acquires, m.contended, m.peak_queue
+                );
+            }
+        }
+    }
+    println!("\n(the same program file runs under every configuration — the");
+    println!(" mechanism is a property of the VM, not of the program)");
+}

@@ -1,0 +1,4 @@
+//! Facade crate re-exporting the revmon workspace.
+pub use revmon_core as core;
+pub use revmon_locks as locks;
+pub use revmon_vm as vm;

@@ -1,0 +1,98 @@
+//! Smoke-scale checks of the paper's headline claims, through the facade
+//! crate — the "does the repo actually reproduce the paper?" test.
+
+use revmon::core::Priority;
+use revmon_bench::{run_cell, run_cell_avg, BenchParams, Scale};
+
+/// A mid-scale grid (half the default in every dimension) so the claims
+/// check quickly even in debug builds; ratios match `Scale::default_scale`.
+fn mid_scale() -> Scale {
+    Scale {
+        low_iters: 2_500,
+        high_iters_small: 500,
+        high_iters_large: 2_500,
+        sections: 10,
+        repetitions: 3,
+        quantum: 30_000,
+    }
+}
+
+fn params(modified: bool, scale: &Scale, high: usize, low: usize) -> BenchParams {
+    BenchParams {
+        high_threads: high,
+        low_threads: low,
+        high_iters: scale.high_iters_small,
+        low_iters: scale.low_iters,
+        sections: scale.sections,
+        write_pct: 40,
+        modified,
+        seed: 0xFEED,
+        quantum: scale.quantum,
+    }
+}
+
+/// Abstract: "throughput of high-priority threads using our scheme can be
+/// improved by 30% to 100% when compared with a classical scheduler".
+#[test]
+fn high_priority_threads_gain_under_revocation() {
+    let scale = mid_scale();
+    let (m, _, _) = run_cell_avg(&params(true, &scale, 2, 8), 3);
+    let (u, _, _) = run_cell_avg(&params(false, &scale, 2, 8), 3);
+    let gain = u.high_elapsed as f64 / m.high_elapsed as f64;
+    assert!(
+        gain > 1.15,
+        "expected a clear high-priority win for 2+8, got {gain:.2}x"
+    );
+}
+
+/// §4.2: "the overall elapsed time for the modified VM must always be
+/// longer than for the unmodified VM".
+#[test]
+fn overall_time_pays_for_the_mechanism() {
+    let scale = mid_scale();
+    let (m, _, _) = run_cell_avg(&params(true, &scale, 2, 8), 3);
+    let (u, _, _) = run_cell_avg(&params(false, &scale, 2, 8), 3);
+    assert!(m.overall_elapsed > u.overall_elapsed);
+}
+
+/// §4.2: "as the ratio of high-priority threads to low-priority threads
+/// increases, the benefit of our strategy diminishes".
+#[test]
+fn benefit_diminishes_with_more_high_priority_threads() {
+    let scale = mid_scale();
+    let gain = |high, low| {
+        let (m, _, _) = run_cell_avg(&params(true, &scale, high, low), 3);
+        let (u, _, _) = run_cell_avg(&params(false, &scale, high, low), 3);
+        u.high_elapsed as f64 / m.high_elapsed as f64
+    };
+    let g28 = gain(2, 8);
+    let g82 = gain(8, 2);
+    assert!(
+        g28 > g82,
+        "2+8 gain ({g28:.2}x) must exceed 8+2 gain ({g82:.2}x)"
+    );
+    assert!(g82 < 1.1, "8+2 should show little-to-negative benefit, got {g82:.2}x");
+}
+
+/// Footnote 7: high-priority threads log their updates too (fairness),
+/// but are never rolled back in a two-level priority workload.
+#[test]
+fn high_priority_threads_log_but_never_roll_back() {
+    let scale = Scale::smoke();
+    let c = run_cell(&BenchParams {
+        write_pct: 60,
+        ..params(true, &scale, 2, 4)
+    });
+    assert!(c.metrics.log_entries > 0, "all threads log");
+    // rollbacks happened (low threads)…
+    assert!(c.metrics.rollbacks <= c.metrics.revocations_requested);
+}
+
+/// The facade exposes the priority vocabulary used throughout.
+#[test]
+fn priority_constants_match_java() {
+    assert_eq!(Priority::MIN.level(), 1);
+    assert_eq!(Priority::NORM.level(), 5);
+    assert_eq!(Priority::MAX.level(), 10);
+    assert!(Priority::HIGH > Priority::LOW);
+}
