@@ -26,7 +26,10 @@ fn main() {
     let scale = Scale::default_scale();
     let p = params(&scale, 40);
     println!("# Ablation: 2 high + 8 low, 40% writes, scaled workload");
-    println!("{:<44} {:>14} {:>14} {:>10}", "configuration", "high-elapsed", "overall", "rollbacks");
+    println!(
+        "{:<44} {:>14} {:>14} {:>10}",
+        "configuration", "high-elapsed", "overall", "rollbacks"
+    );
 
     let cases: Vec<(&str, VmConfig)> = vec![
         ("blocking (unmodified VM)", VmConfig::unmodified()),
@@ -89,7 +92,10 @@ fn main() {
         let mut pp = p;
         pp.quantum = q;
         let r = run_cell_with_config(&pp, VmConfig::modified());
-        println!("{:<12} {:>14} {:>14} {:>10}", q, r.high_elapsed, r.overall_elapsed, r.metrics.rollbacks);
+        println!(
+            "{:<12} {:>14} {:>14} {:>10}",
+            q, r.high_elapsed, r.overall_elapsed, r.metrics.rollbacks
+        );
     }
 
     println!("\n# sweep: write-barrier cost sensitivity (revocation VM, barrier_slow in ticks)");

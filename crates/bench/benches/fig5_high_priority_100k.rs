@@ -5,7 +5,7 @@
 //! Run with `cargo bench -p revmon-bench --bench fig5_high_priority_100k`.
 //! Set `REVMON_FULL=1` for the paper-scale (very long) run.
 
-use revmon_bench::{gain_pct, print_figure, Scale, Series};
+use revmon_bench::{export, gain_pct, print_figure, BenchParams, Scale, Series};
 
 fn main() {
     let scale =
@@ -17,6 +17,27 @@ fn main() {
         &scale,
         Series::HighPriority,
     );
+    // Machine-readable summary (mean + 90 % CI per configuration) plus a
+    // representative per-run metrics dump, for future perf comparisons.
+    match export::write_figure_summary(export::results_dir(), "fig5", "high_priority", &figs) {
+        Ok(p) => println!("# wrote {}", p.display()),
+        Err(e) => eprintln!("# could not write summary JSON: {e}"),
+    }
+    let rep = BenchParams {
+        high_threads: 2,
+        low_threads: 8,
+        high_iters: scale.high_iters_small,
+        low_iters: scale.low_iters,
+        sections: scale.sections,
+        write_pct: 40,
+        modified: true,
+        seed: 0xC0FFEE,
+        quantum: scale.quantum,
+    };
+    match export::write_run_metrics(export::results_dir(), "fig5", &rep) {
+        Ok(p) => println!("# wrote {}", p.display()),
+        Err(e) => eprintln!("# could not write run metrics JSON: {e}"),
+    }
     // Qualitative shape checks against the paper.
     println!("\n# shape checks (paper: 25-100% improvement for (a)/(b); benefit shrinks in (c))");
     let mut ok = true;
@@ -25,7 +46,11 @@ fn main() {
         let verdict = if high <= low {
             let pass = rows.iter().all(|r| r.modified < r.unmodified);
             ok &= pass;
-            if pass { "PASS (modified wins at every write ratio)" } else { "FAIL" }
+            if pass {
+                "PASS (modified wins at every write ratio)"
+            } else {
+                "FAIL"
+            }
         } else {
             "INFO (paper expects diminished benefit here)"
         };

@@ -101,10 +101,7 @@ fn main() {
         if gain > 1.0 {
             wins += 1;
         }
-        println!(
-            "{:>7} {:>16?} {:>12} {:>16?} {:>9.2}x",
-            write_pct, rev, rb, blk, gain
-        );
+        println!("{:>7} {:>16?} {:>12} {:>16?} {:>9.2}x", write_pct, rev, rb, blk, gain);
     }
     println!("\n# high-priority threads finished faster under revocation at {wins}/6 write ratios");
     println!("# (wall-clock, OS-scheduled: treat as directional, not calibrated)");

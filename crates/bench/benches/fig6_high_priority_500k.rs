@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo bench -p revmon-bench --bench fig6_high_priority_500k`.
 
-use revmon_bench::{gain_pct, print_figure, Scale, Series};
+use revmon_bench::{export, gain_pct, print_figure, Scale, Series};
 
 fn main() {
     let scale =
@@ -16,6 +16,10 @@ fn main() {
         &scale,
         Series::HighPriority,
     );
+    match export::write_figure_summary(export::results_dir(), "fig6", "high_priority", &figs) {
+        Ok(p) => println!("# wrote {}", p.display()),
+        Err(e) => eprintln!("# could not write summary JSON: {e}"),
+    }
     println!("\n# shape checks (paper: (a)/(b) improve 25-100%; (c) at heavy writes can invert)");
     for ((high, low), rows) in &figs {
         let avg_gain = rows.iter().map(gain_pct).sum::<f64>() / rows.len() as f64;

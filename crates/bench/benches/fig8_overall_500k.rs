@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo bench -p revmon-bench --bench fig8_overall_500k`.
 
-use revmon_bench::{print_figure, Scale, Series};
+use revmon_bench::{export, print_figure, Scale, Series};
 
 fn main() {
     let scale =
@@ -15,13 +15,14 @@ fn main() {
         &scale,
         Series::Overall,
     );
+    match export::write_figure_summary(export::results_dir(), "fig8", "overall", &figs) {
+        Ok(p) => println!("# wrote {}", p.display()),
+        Err(e) => eprintln!("# could not write summary JSON: {e}"),
+    }
     println!("\n# shape checks (paper: overall time on the modified VM is always longer)");
     for ((high, low), rows) in &figs {
         let pass = rows.iter().all(|r| r.modified >= r.unmodified * 0.98);
-        let overhead = rows
-            .iter()
-            .map(|r| (r.modified / r.unmodified - 1.0) * 100.0)
-            .sum::<f64>()
+        let overhead = rows.iter().map(|r| (r.modified / r.unmodified - 1.0) * 100.0).sum::<f64>()
             / rows.len() as f64;
         println!(
             "  {high}+{low}: average overall overhead {overhead:+.1}% — {}",

@@ -48,14 +48,11 @@ fn bench_vs_plain_mutexes(c: &mut Criterion) {
 fn bench_enter_exit(c: &mut Criterion) {
     let mut g = c.benchmark_group("enter_exit");
     g.sample_size(30);
-    for (name, policy) in [
-        ("revocation", InversionPolicy::Revocation),
-        ("blocking", InversionPolicy::Blocking),
-    ] {
+    for (name, policy) in
+        [("revocation", InversionPolicy::Revocation), ("blocking", InversionPolicy::Blocking)]
+    {
         let m = RevocableMonitor::with_policy(policy);
-        g.bench_function(name, |b| {
-            b.iter(|| m.enter(Priority::NORM, |tx| tx.checkpoint()))
-        });
+        g.bench_function(name, |b| b.iter(|| m.enter(Priority::NORM, |tx| tx.checkpoint())));
     }
     g.finish();
 }
@@ -121,10 +118,9 @@ fn bench_rollback_cost(c: &mut Criterion) {
 fn bench_vm_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("vm_interpreter");
     g.sample_size(20);
-    for (name, cfg) in [
-        ("unmodified", VmConfig::unmodified()),
-        ("modified_barriers", VmConfig::modified()),
-    ] {
+    for (name, cfg) in
+        [("unmodified", VmConfig::unmodified()), ("modified_barriers", VmConfig::modified())]
+    {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let (p, run) = revmon_bench::workload::benchmark_program();

@@ -28,6 +28,7 @@
 
 #![deny(missing_docs)]
 
+pub mod export;
 pub mod workload;
 
 use revmon_core::metrics::{ci90_half_width, mean};
@@ -149,6 +150,17 @@ pub fn run_cell(p: &BenchParams) -> CellResult {
 /// Execute one benchmark run under an explicit VM configuration (used by
 /// the policy-ablation bench).
 pub fn run_cell_with_config(p: &BenchParams, cfg: VmConfig) -> CellResult {
+    run_cell_sink(p, cfg, None)
+}
+
+/// Execute one benchmark run with an optional `revmon-obs` sink attached,
+/// so a run can dump its event stream and latency histograms (see
+/// [`export::run_cell_observed`]).
+pub fn run_cell_sink(
+    p: &BenchParams,
+    cfg: VmConfig,
+    sink: Option<std::sync::Arc<revmon_obs::EventSink>>,
+) -> CellResult {
     let (program, run) = benchmark_program();
     let mut cfg = cfg.with_seed(p.seed);
     cfg.cost.quantum = p.quantum;
@@ -156,6 +168,9 @@ pub fn run_cell_with_config(p: &BenchParams, cfg: VmConfig) -> CellResult {
     // quantum) right before an entry to the synchronized section"
     let pause_bound = 2 * cfg.cost.quantum as i64;
     let mut vm = Vm::new(program, cfg);
+    if let Some(sink) = sink {
+        vm.attach_sink(sink);
+    }
     let lock = vm.heap_mut().alloc(0, 0);
     let arr = vm.heap_mut().alloc_array(ARRAY_LEN);
     let args = |iters: i64| {
@@ -294,7 +309,10 @@ pub fn print_figure(
     let mut out = Vec::new();
     for (label, (high, low)) in ["(a)", "(b)", "(c)"].iter().zip(MIXES) {
         println!("\n## {name}{label}: {high} high-priority + {low} low-priority");
-        println!("{:>7} {:>12} {:>8} {:>12} {:>8}", "write%", "MODIFIED", "±90%CI", "UNMODIFIED", "±90%CI");
+        println!(
+            "{:>7} {:>12} {:>8} {:>12} {:>8}",
+            "write%", "MODIFIED", "±90%CI", "UNMODIFIED", "±90%CI"
+        );
         let rows = figure_series(high, low, high_iters, scale, series);
         for r in &rows {
             println!(

@@ -144,9 +144,6 @@ mod tests {
         let b = run_small(VmConfig::unmodified(), 100);
         let (ea, eb) = (a.overall_elapsed() as f64, b.overall_elapsed() as f64);
         let ratio = eb / ea;
-        assert!(
-            (0.95..1.05).contains(&ratio),
-            "write-ratio changed unmodified cost: {ratio}"
-        );
+        assert!((0.95..1.05).contains(&ratio), "write-ratio changed unmodified cost: {ratio}");
     }
 }

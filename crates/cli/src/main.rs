@@ -1,5 +1,5 @@
 //! `revmon` — run, disassemble and verify `.rvm` assembly programs on the
-//! revocable-monitor VM.
+//! revocable-monitor VM, and demo the real-thread locks runtime.
 //!
 //! ```text
 //! revmon run program.rvm [--entry main] [--config modified|unmodified]
@@ -7,15 +7,26 @@
 //!        [--sched rr|prio] [--queue pq|fifo] [--detect acq|bg=N]
 //!        [--seed N] [--quantum N] [--max-steps N]
 //!        [--elide] [--sticky] [--trace] [--stats]
+//!        [--trace-out events.jsonl] [--chrome-trace out.json]
+//!        [--metrics-json metrics.json]
+//! revmon demo [--low N] [--high N] [--sections N] [--stats]
+//!        [--trace-out events.jsonl] [--chrome-trace out.json]
+//!        [--metrics-json metrics.json]
 //! revmon dis program.rvm [--rewrite]
 //! revmon verify program.rvm [--rewrite]
 //! ```
+//!
+//! The observability flags work on both runtimes: `run` records the VM's
+//! virtual-clock event stream, `demo` records wall-clock events from the
+//! locks runtime's priority-inversion scenario. See `docs/observability.md`.
 
 use revmon_core::{DetectionStrategy, InversionPolicy, Priority, QueueDiscipline};
+use revmon_obs::{EventSink, TsUnit};
 use revmon_vm::{
     assemble, disassemble, rewrite_program, verify_program, SchedulerKind, Vm, VmConfig,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,11 +40,14 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: revmon <run|dis|verify> <file.rvm> [options]\n       see crate docs for the option list".into()
+    "usage: revmon <run|dis|verify> <file.rvm> [options]\n       revmon demo [options]\n       see crate docs for the option list".into()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or_else(usage)?;
+    if cmd == "demo" {
+        return run_demo(&args[1..]);
+    }
     let file = args.get(1).ok_or_else(usage)?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let program = assemble(&src).map_err(|e| format!("{file}: {e}"))?;
@@ -63,6 +77,59 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => run_program(file, program, opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+/// The three observability output paths shared by `run` and `demo`.
+struct ObsOuts {
+    trace_out: Option<String>,
+    chrome: Option<String>,
+    metrics: Option<String>,
+}
+
+impl ObsOuts {
+    fn parse(opts: &[String]) -> Result<Self, String> {
+        Ok(ObsOuts {
+            trace_out: get_opt(opts, "--trace-out")?,
+            chrome: get_opt(opts, "--chrome-trace")?,
+            metrics: get_opt(opts, "--metrics-json")?,
+        })
+    }
+
+    fn wanted(&self) -> bool {
+        self.trace_out.is_some() || self.chrome.is_some() || self.metrics.is_some()
+    }
+
+    /// Drain `sink` and write every requested artifact. `counters` is the
+    /// run's counter set for `--metrics-json`.
+    fn export(&self, sink: &EventSink, counters: &[(&str, u64)]) -> Result<(), String> {
+        let events = sink.drain();
+        if let Some(path) = &self.trace_out {
+            let mut f = create(path)?;
+            revmon_obs::write_events_jsonl(&mut f, &events)
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("revmon: wrote {} events to {path}", events.len());
+        }
+        if let Some(path) = &self.chrome {
+            let mut f = create(path)?;
+            revmon_obs::write_chrome_trace(&mut f, &events, sink.ts_unit())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "revmon: wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)"
+            );
+        }
+        if let Some(path) = &self.metrics {
+            let json = revmon_obs::metrics_json(counters, sink.histograms(), sink.ts_unit());
+            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("revmon: wrote metrics to {path}");
+        }
+        Ok(())
+    }
+}
+
+fn create(path: &str) -> Result<std::io::BufWriter<std::fs::File>, String> {
+    std::fs::File::create(path)
+        .map(std::io::BufWriter::new)
+        .map_err(|e| format!("cannot create {path}: {e}"))
 }
 
 fn run_program(
@@ -123,6 +190,7 @@ fn run_program(
     cfg.sticky_nonrevocable = has_flag(opts, "--sticky");
     cfg.trace = has_flag(opts, "--trace");
 
+    let outs = ObsOuts::parse(opts)?;
     let entry_name = get_opt(opts, "--entry")?.unwrap_or_else(|| "main".into());
     let entry = program
         .method_by_name(&entry_name)
@@ -135,6 +203,10 @@ fn run_program(
         let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
         format!("{file}: verification failed:\n  {}", msgs.join("\n  "))
     })?;
+    let sink = outs.wanted().then(|| Arc::new(EventSink::new(TsUnit::VirtualTicks)));
+    if let Some(sink) = &sink {
+        vm.attach_sink(Arc::clone(sink));
+    }
     vm.spawn(&entry_name, entry, vec![], Priority::NORM);
     let report = vm.run().map_err(|e| format!("{file}: VM fault: {e}"))?;
 
@@ -167,6 +239,135 @@ fn run_program(
                 );
             }
         }
+        if let Some(sink) = &sink {
+            println!("--- latency histograms ---");
+            let mut out = std::io::stdout().lock();
+            revmon_obs::write_summary(
+                &mut out,
+                sink.histograms(),
+                sink.ts_unit(),
+                sink.recorded(),
+                sink.dropped(),
+            )
+            .map_err(|e| format!("writing summary: {e}"))?;
+        }
+    }
+    if let Some(sink) = &sink {
+        let mut counters = Vec::new();
+        report.global.for_each_field(|name, v| counters.push((name, v)));
+        outs.export(sink, &counters)?;
+    }
+    Ok(())
+}
+
+/// `revmon demo`: a Figure-1 priority-inversion scenario on the
+/// real-thread locks runtime — low-priority threads hold a revocable
+/// monitor for long sections while a high-priority thread barges in —
+/// exporting the same observability artifacts as `run`, with wall-clock
+/// timestamps.
+fn run_demo(opts: &[String]) -> Result<(), String> {
+    use revmon_locks::{RevocableMonitor, TCell};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let low_n: usize = parse_opt(opts, "--low")?.unwrap_or(3);
+    let high_sections: u64 = parse_opt(opts, "--sections")?.unwrap_or(20);
+    let high_n: usize = parse_opt(opts, "--high")?.unwrap_or(1);
+    if low_n == 0 || high_n == 0 || high_sections == 0 {
+        return Err("--low, --high and --sections must be positive".into());
+    }
+
+    let outs = ObsOuts::parse(opts)?;
+    let sink = outs.wanted().then(|| Arc::new(EventSink::new(TsUnit::WallNanos)));
+    if let Some(sink) = &sink {
+        revmon_locks::obs::install(Arc::clone(sink));
+    }
+
+    let monitor = Arc::new(RevocableMonitor::new());
+    let counter = TCell::new(0i64);
+    let stop = Arc::new(AtomicBool::new(false));
+    let low_commits = Arc::new(AtomicU64::new(0));
+
+    // Low-priority aggregators: long revocable sections with yield
+    // points, the "batch update" side of the paper's motivating scenario.
+    let lows: Vec<_> = (0..low_n)
+        .map(|_| {
+            let m = Arc::clone(&monitor);
+            let c = counter.clone();
+            let stop = Arc::clone(&stop);
+            let commits = Arc::clone(&low_commits);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    m.enter(Priority::LOW, |tx| {
+                        for _ in 0..200 {
+                            tx.update(&c, |v| v + 1);
+                            tx.checkpoint();
+                        }
+                    });
+                    commits.fetch_add(1, Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    // High-priority alarms: short sections that should preempt the
+    // aggregators via revocation rather than wait them out.
+    let highs: Vec<_> = (0..high_n)
+        .map(|_| {
+            let m = Arc::clone(&monitor);
+            let c = counter.clone();
+            std::thread::spawn(move || {
+                for _ in 0..high_sections {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    m.enter(Priority::HIGH, |tx| {
+                        tx.update(&c, |v| v + 1);
+                    });
+                }
+            })
+        })
+        .collect();
+
+    for h in highs {
+        h.join().map_err(|_| "high-priority thread panicked".to_string())?;
+    }
+    stop.store(true, Ordering::Release);
+    for l in lows {
+        l.join().map_err(|_| "low-priority thread panicked".to_string())?;
+    }
+
+    println!(
+        "demo: {low_n} low + {high_n} high threads, {} high sections, {} low sections, counter {}",
+        high_sections * high_n as u64,
+        low_commits.load(Ordering::Relaxed),
+        counter.read_unsynchronized()
+    );
+
+    // Aggregate over every monitor in the process (here: the one), the
+    // library-wide view the per-monitor snapshots can't give.
+    if has_flag(opts, "--stats") {
+        println!("--- stats (all monitors) ---");
+        let total = revmon_locks::aggregate_snapshot();
+        total.for_each_field(|name, v| println!("{name:<24}: {v}"));
+        if let Some(sink) = &sink {
+            println!("--- latency histograms ---");
+            let mut out = std::io::stdout().lock();
+            revmon_obs::write_summary(
+                &mut out,
+                sink.histograms(),
+                sink.ts_unit(),
+                sink.recorded(),
+                sink.dropped(),
+            )
+            .map_err(|e| format!("writing summary: {e}"))?;
+        }
+    }
+
+    if let Some(sink) = &sink {
+        revmon_locks::obs::uninstall();
+        let mut counters = Vec::new();
+        let total = revmon_locks::aggregate_snapshot();
+        total.for_each_field(|name, v| counters.push((name, v)));
+        outs.export(sink, &counters)?;
     }
     Ok(())
 }
@@ -187,4 +388,12 @@ fn get_opt(opts: &[String], key: &str) -> Result<Option<String>, String> {
         }
     }
     Ok(None)
+}
+
+/// `--key value` parsed into any `FromStr` number.
+fn parse_opt<T: std::str::FromStr>(opts: &[String], key: &str) -> Result<Option<T>, String> {
+    match get_opt(opts, key)? {
+        None => Ok(None),
+        Some(s) => s.parse().map(Some).map_err(|_| format!("bad value for {key}: {s}")),
+    }
 }

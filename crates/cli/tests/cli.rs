@@ -8,9 +8,7 @@ fn bin() -> Command {
 }
 
 fn program(name: &str) -> String {
-    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../programs")
-        .join(name);
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../programs").join(name);
     p.to_string_lossy().into_owned()
 }
 
@@ -52,10 +50,8 @@ fn deadlock_breaks_on_modified_vm_and_stalls_on_unmodified() {
     assert!(ok.status.success());
     assert!(String::from_utf8_lossy(&ok.stdout).contains('2'));
 
-    let stalled = bin()
-        .args(["run", &program("deadlock.rvm"), "--config", "unmodified"])
-        .output()
-        .unwrap();
+    let stalled =
+        bin().args(["run", &program("deadlock.rvm"), "--config", "unmodified"]).output().unwrap();
     assert!(!stalled.status.success(), "blocking VM must report the deadlock");
     assert!(String::from_utf8_lossy(&stalled.stderr).contains("no runnable threads"));
 }
@@ -68,10 +64,7 @@ fn dis_shows_injected_scopes_after_rewrite() {
     assert!(plain.contains("monitorenter"));
     assert!(!plain.contains("savestate"));
 
-    let rewritten = bin()
-        .args(["dis", &program("counter.rvm"), "--rewrite"])
-        .output()
-        .unwrap();
+    let rewritten = bin().args(["dis", &program("counter.rvm"), "--rewrite"]).output().unwrap();
     let rewritten = String::from_utf8_lossy(&rewritten.stdout).into_owned();
     assert!(rewritten.contains("savestate"));
     assert!(rewritten.contains("rollbackhandler"));
@@ -100,10 +93,7 @@ fn unknown_flags_and_files_fail_cleanly() {
 
 #[test]
 fn trace_flag_prints_monitor_events() {
-    let out = bin()
-        .args(["run", &program("priority_inversion.rvm"), "--trace"])
-        .output()
-        .unwrap();
+    let out = bin().args(["run", &program("priority_inversion.rvm"), "--trace"]).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Acquire"), "trace missing:\n{stdout}");

@@ -111,10 +111,7 @@ mod tests {
     fn rollback_cost_scales_with_log_length() {
         let c = CostModel::default();
         assert_eq!(c.rollback(0), c.rollback_fixed);
-        assert_eq!(
-            c.rollback(10) - c.rollback(0),
-            10 * c.rollback_per_entry
-        );
+        assert_eq!(c.rollback(10) - c.rollback(0), 10 * c.rollback_per_entry);
     }
 
     #[test]

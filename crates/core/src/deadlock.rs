@@ -94,9 +94,7 @@ impl WaitsForGraph {
 
     /// The full edge for `waiter`, if blocked.
     pub fn edge_of(&self, waiter: ThreadId) -> Option<Edge> {
-        self.edges
-            .get(&waiter)
-            .map(|&(monitor, owner)| Edge { waiter, monitor, owner })
+        self.edges.get(&waiter).map(|&(monitor, owner)| Edge { waiter, monitor, owner })
     }
 
     /// Re-point every edge on `monitor` at a new owner — called when
@@ -262,9 +260,7 @@ mod tests {
         g.add_wait(t(1), m(2), t(2));
         g.add_wait(t(2), m(1), t(1));
         let cycle = g.find_any_cycle().unwrap();
-        let v = g
-            .choose_victim(&cycle, |_| Priority::LOW, |th| th == t(1))
-            .unwrap();
+        let v = g.choose_victim(&cycle, |_| Priority::LOW, |th| th == t(1)).unwrap();
         assert_eq!(v.thread, t(1));
     }
 

@@ -5,71 +5,93 @@
 //! mean and the 90 % confidence interval the paper reports ("we show 90 %
 //! confidence intervals in our results", §4.1).
 
-/// Counters describing one run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Metrics {
-    /// Bytecode instructions executed (VM) / data operations (locks).
-    pub instructions: u64,
-    /// Monitor acquisitions that succeeded immediately.
-    pub monitor_acquires: u64,
-    /// Monitor acquisitions that found the monitor held.
-    pub contended_acquires: u64,
-    /// Context switches between green threads.
-    pub context_switches: u64,
-    /// Undo-log entries written (write-barrier slow path executions).
-    pub log_entries: u64,
-    /// Write-barrier fast-path executions (every store on modified VM).
-    pub barrier_fast_paths: u64,
-    /// Stores that skipped the barrier thanks to static elision.
-    pub barriers_elided: u64,
-    /// Revocations requested (holder flagged by a higher-priority thread).
-    pub revocations_requested: u64,
-    /// Rollbacks actually performed.
-    pub rollbacks: u64,
-    /// Undo-log entries restored by rollbacks.
-    pub entries_rolled_back: u64,
-    /// Synchronized-section executions that committed.
-    pub sections_committed: u64,
-    /// Priority-inversion events detected.
-    pub inversions_detected: u64,
-    /// Inversions left unresolved because the monitor was non-revocable.
-    pub inversions_unresolved: u64,
-    /// Monitors marked non-revocable by the JMM-consistency guard.
-    pub monitors_marked_nonrevocable: u64,
-    /// Deadlock cycles detected.
-    pub deadlocks_detected: u64,
-    /// Deadlocks broken by revoking a victim.
-    pub deadlocks_broken: u64,
-    /// Priority boosts applied (priority-inheritance baseline).
-    pub priority_boosts: u64,
+/// Define [`Metrics`] from a single field list so the struct, `merge`,
+/// `FIELD_NAMES`, and the by-name accessors can never drift apart: a
+/// field added here is automatically summed by `merge`, visited by
+/// `for_each_field`, and exported by name.
+macro_rules! define_metrics {
+    ($( $(#[$doc:meta])* $field:ident ),+ $(,)?) => {
+        /// Counters describing one run.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct Metrics {
+            $( $(#[$doc])* pub $field: u64, )+
+        }
+
+        impl Metrics {
+            /// Every counter's name, in declaration order.
+            pub const FIELD_NAMES: &'static [&'static str] = &[
+                $( stringify!($field), )+
+            ];
+
+            /// Fresh, zeroed metrics.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Component-wise sum, for aggregating per-thread metrics.
+            /// Generated from the field list, so it cannot drop a field.
+            pub fn merge(&mut self, other: &Metrics) {
+                $( self.$field += other.$field; )+
+            }
+
+            /// Visit every counter as `(name, value)`, in declaration
+            /// order.
+            pub fn for_each_field(&self, mut f: impl FnMut(&'static str, u64)) {
+                $( f(stringify!($field), self.$field); )+
+            }
+
+            /// Value of the counter called `name`, if any.
+            pub fn field(&self, name: &str) -> Option<u64> {
+                match name {
+                    $( stringify!($field) => Some(self.$field), )+
+                    _ => None,
+                }
+            }
+
+            /// Metrics with every counter set to `v` (test helper for
+            /// exhaustiveness checks).
+            pub fn uniform(v: u64) -> Self {
+                Metrics { $( $field: v, )+ }
+            }
+        }
+    };
 }
 
-impl Metrics {
-    /// Fresh, zeroed metrics.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Component-wise sum, for aggregating per-thread metrics.
-    pub fn merge(&mut self, other: &Metrics) {
-        self.instructions += other.instructions;
-        self.monitor_acquires += other.monitor_acquires;
-        self.contended_acquires += other.contended_acquires;
-        self.context_switches += other.context_switches;
-        self.log_entries += other.log_entries;
-        self.barrier_fast_paths += other.barrier_fast_paths;
-        self.barriers_elided += other.barriers_elided;
-        self.revocations_requested += other.revocations_requested;
-        self.rollbacks += other.rollbacks;
-        self.entries_rolled_back += other.entries_rolled_back;
-        self.sections_committed += other.sections_committed;
-        self.inversions_detected += other.inversions_detected;
-        self.inversions_unresolved += other.inversions_unresolved;
-        self.monitors_marked_nonrevocable += other.monitors_marked_nonrevocable;
-        self.deadlocks_detected += other.deadlocks_detected;
-        self.deadlocks_broken += other.deadlocks_broken;
-        self.priority_boosts += other.priority_boosts;
-    }
+define_metrics! {
+    /// Bytecode instructions executed (VM) / data operations (locks).
+    instructions,
+    /// Monitor acquisitions that succeeded immediately.
+    monitor_acquires,
+    /// Monitor acquisitions that found the monitor held.
+    contended_acquires,
+    /// Context switches between green threads.
+    context_switches,
+    /// Undo-log entries written (write-barrier slow path executions).
+    log_entries,
+    /// Write-barrier fast-path executions (every store on modified VM).
+    barrier_fast_paths,
+    /// Stores that skipped the barrier thanks to static elision.
+    barriers_elided,
+    /// Revocations requested (holder flagged by a higher-priority thread).
+    revocations_requested,
+    /// Rollbacks actually performed.
+    rollbacks,
+    /// Undo-log entries restored by rollbacks.
+    entries_rolled_back,
+    /// Synchronized-section executions that committed.
+    sections_committed,
+    /// Priority-inversion events detected.
+    inversions_detected,
+    /// Inversions left unresolved because the monitor was non-revocable.
+    inversions_unresolved,
+    /// Monitors marked non-revocable by the JMM-consistency guard.
+    monitors_marked_nonrevocable,
+    /// Deadlock cycles detected.
+    deadlocks_detected,
+    /// Deadlocks broken by revoking a victim.
+    deadlocks_broken,
+    /// Priority boosts applied (priority-inheritance baseline).
+    priority_boosts,
 }
 
 /// Arithmetic mean of `xs`. Returns 0.0 for an empty slice.
@@ -99,9 +121,9 @@ pub fn ci90_half_width(xs: &[f64]) -> f64 {
     }
     // Two-sided 90% t critical values for df = n-1.
     const T90: [f64; 30] = [
-        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
-        1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
-        1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+        1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+        1.703, 1.701, 1.699, 1.697,
     ];
     let df = n - 1;
     let t = if df <= T90.len() { T90[df - 1] } else { 1.645 };
@@ -120,6 +142,29 @@ mod tests {
         assert_eq!(a.instructions, 11);
         assert_eq!(a.rollbacks, 22);
         assert_eq!(a.log_entries, 5);
+    }
+
+    #[test]
+    fn merge_cannot_drop_a_field() {
+        // Every field of the merge result must change when merging a
+        // uniform delta — a field silently skipped by `merge` would stay
+        // at its old value and fail here.
+        let mut a = Metrics::uniform(1);
+        a.merge(&Metrics::uniform(10));
+        a.for_each_field(|name, v| assert_eq!(v, 11, "field {name} dropped by merge"));
+    }
+
+    #[test]
+    fn field_names_cover_every_field() {
+        let m = Metrics::uniform(7);
+        assert!(!Metrics::FIELD_NAMES.is_empty());
+        let mut visited = 0;
+        m.for_each_field(|name, v| {
+            assert_eq!(m.field(name), Some(v));
+            visited += 1;
+        });
+        assert_eq!(visited, Metrics::FIELD_NAMES.len());
+        assert_eq!(m.field("no_such_counter"), None);
     }
 
     #[test]

@@ -68,9 +68,7 @@ impl<T> PrioritizedQueue<T> {
                 let mut best = 0usize;
                 for i in 1..self.waiters.len() {
                     let (w, b) = (&self.waiters[i], &self.waiters[best]);
-                    if w.priority > b.priority
-                        || (w.priority == b.priority && w.seq < b.seq)
-                    {
+                    if w.priority > b.priority || (w.priority == b.priority && w.seq < b.seq) {
                         best = i;
                     }
                 }
@@ -84,9 +82,7 @@ impl<T> PrioritizedQueue<T> {
     pub fn next_priority(&self) -> Option<Priority> {
         match self.discipline {
             QueueDiscipline::Fifo => self.waiters.front().map(|w| w.priority),
-            QueueDiscipline::Priority => {
-                self.waiters.iter().map(|w| w.priority).max()
-            }
+            QueueDiscipline::Priority => self.waiters.iter().map(|w| w.priority).max(),
         }
     }
 

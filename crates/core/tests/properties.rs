@@ -2,7 +2,7 @@
 //! straightforward reference models.
 
 use proptest::prelude::*;
-use revmon_core::{Priority, PrioritizedQueue, QueueDiscipline, ThreadId, UndoLog, WaitsForGraph};
+use revmon_core::{PrioritizedQueue, Priority, QueueDiscipline, ThreadId, UndoLog, WaitsForGraph};
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------- UndoLog

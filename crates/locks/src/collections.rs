@@ -85,16 +85,14 @@ impl<T: Clone + Send + 'static> BoundedQueue<T> {
 
     /// Blocking pop: waits while empty.
     pub fn pop(&self, priority: Priority) -> T {
-        self.monitor.enter(priority, |tx| {
-            loop {
-                let mut q = tx.read(&self.items);
-                if let Some(v) = q.pop_front() {
-                    tx.write(&self.items, q);
-                    tx.notify_all();
-                    return v;
-                }
-                tx.wait();
+        self.monitor.enter(priority, |tx| loop {
+            let mut q = tx.read(&self.items);
+            if let Some(v) = q.pop_front() {
+                tx.write(&self.items, q);
+                tx.notify_all();
+                return v;
             }
+            tx.wait();
         })
     }
 

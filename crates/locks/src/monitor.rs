@@ -19,12 +19,14 @@
 //! be idempotent or deferred (use [`Tx::irrevocable`] for native-call-like
 //! effects, which pins the section non-revocable first).
 
+use crate::obs;
 use crate::registry;
 use crate::signal::{as_rollback, RollbackSignal};
 use crate::stats::{MonitorStats, StatsSnapshot};
 use crate::tx::{self, SectionCtx, Tx};
 use parking_lot::Mutex;
 use revmon_core::{InversionPolicy, Priority};
+use revmon_obs::EventKind;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,6 +40,8 @@ struct Waiter {
     tid: thread::ThreadId,
     priority: Priority,
     seq: u64,
+    /// Observability id of the waiting thread (0 when tracing is off).
+    obs: u64,
 }
 
 #[derive(Debug)]
@@ -54,6 +58,9 @@ struct MState {
     holder_priority: Priority,
     /// Active sections of the owner on this monitor, outermost first.
     holder_ctxs: Vec<Arc<SectionCtx>>,
+    /// Observability id of the owner (0 when tracing is off), so
+    /// contenders can attribute revoke-request events to the holder.
+    owner_obs: u64,
     recursion: u32,
     queue: Vec<Waiter>,
     /// Handoff token: the thread ownership was transferred to.
@@ -84,7 +91,7 @@ pub struct RevocableMonitor {
     id: u64,
     policy: InversionPolicy,
     state: Mutex<MState>,
-    pub(crate) stats: MonitorStats,
+    pub(crate) stats: Arc<MonitorStats>,
 }
 
 impl Default for RevocableMonitor {
@@ -102,11 +109,13 @@ impl RevocableMonitor {
     /// A monitor under an explicit policy (blocking / inheritance /
     /// ceiling baselines).
     pub fn with_policy(policy: InversionPolicy) -> Self {
+        let stats = Arc::new(MonitorStats::default());
+        registry::register_stats(&stats);
         RevocableMonitor {
             id: NEXT_MONITOR_ID.fetch_add(1, Ordering::Relaxed),
             policy,
             state: Mutex::new(MState::default()),
-            stats: MonitorStats::default(),
+            stats,
         }
     }
 
@@ -143,11 +152,13 @@ impl RevocableMonitor {
                 Err(payload) => {
                     if let Some(sig) = as_rollback(&*payload) {
                         // Restore shared state *before* releasing (§3.1.2).
+                        let t0 = obs::enabled().then(obs::now_ns);
                         let n = ctx.rollback();
                         self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
-                        self.stats
-                            .entries_rolled_back
-                            .fetch_add(n as u64, Ordering::Relaxed);
+                        self.stats.entries_rolled_back.fetch_add(n as u64, Ordering::Relaxed);
+                        if let Some(t0) = t0 {
+                            self.emit_rollback(n as u64, t0);
+                        }
                         self.release(&ctx);
                         let _ = tx::pop_section();
                         if sig.target == ctx.id {
@@ -182,7 +193,11 @@ impl RevocableMonitor {
     /// also when the section was *revoked* mid-flight and the monitor was
     /// no longer free on retry (the closure's effects are rolled back, so
     /// `None` always means "nothing happened").
-    pub fn try_enter<R>(&self, priority: Priority, mut f: impl FnMut(&mut Tx<'_>) -> R) -> Option<R> {
+    pub fn try_enter<R>(
+        &self,
+        priority: Priority,
+        mut f: impl FnMut(&mut Tx<'_>) -> R,
+    ) -> Option<R> {
         loop {
             let ctx = self.try_acquire(priority)?;
             let result = {
@@ -196,11 +211,13 @@ impl RevocableMonitor {
                 }
                 Err(payload) => {
                     if let Some(sig) = as_rollback(&*payload) {
+                        let t0 = obs::enabled().then(obs::now_ns);
                         let n = ctx.rollback();
                         self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
-                        self.stats
-                            .entries_rolled_back
-                            .fetch_add(n as u64, Ordering::Relaxed);
+                        self.stats.entries_rolled_back.fetch_add(n as u64, Ordering::Relaxed);
+                        if let Some(t0) = t0 {
+                            self.emit_rollback(n as u64, t0);
+                        }
                         self.release(&ctx);
                         let _ = tx::pop_section();
                         if sig.target == ctx.id {
@@ -227,6 +244,7 @@ impl RevocableMonitor {
             drop(s);
             tx::push_section(Arc::clone(&ctx));
             self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+            obs::emit(self.id, EventKind::Acquire);
             return Some(ctx);
         }
         if s.owner.is_some() || s.grant.is_some() {
@@ -234,6 +252,7 @@ impl RevocableMonitor {
         }
         s.owner = Some(me.id());
         s.owner_handle = Some(me.clone());
+        s.owner_obs = if obs::enabled() { obs::obs_tid() } else { 0 };
         s.recursion = 1;
         s.holder_priority = eff;
         let ctx = SectionCtx::new(self.id);
@@ -242,6 +261,7 @@ impl RevocableMonitor {
         tx::push_section(Arc::clone(&ctx));
         registry::on_acquire(self.id, me, eff, Arc::clone(&ctx));
         self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+        obs::emit(self.id, EventKind::Acquire);
         Some(ctx)
     }
 
@@ -276,6 +296,7 @@ impl RevocableMonitor {
                 drop(s);
                 tx::push_section(Arc::clone(&ctx));
                 self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+                obs::emit(self.id, EventKind::Acquire);
                 return ctx;
             }
             // Free (and not reserved for someone else) or granted to us.
@@ -286,6 +307,7 @@ impl RevocableMonitor {
                 }
                 s.owner = Some(me.id());
                 s.owner_handle = Some(me.clone());
+                s.owner_obs = if obs::enabled() { obs::obs_tid() } else { 0 };
                 s.recursion = 1;
                 s.holder_priority = eff;
                 let ctx = SectionCtx::new(self.id);
@@ -299,12 +321,14 @@ impl RevocableMonitor {
                 // first yield point rolls us (cheaply, log still empty)
                 // back behind it.
                 if matches!(self.policy, InversionPolicy::Revocation) {
-                    if let Some(top) = s.queue.iter().map(|w| w.priority).max() {
-                        if top > eff {
+                    if let Some(top) =
+                        s.queue.iter().max_by_key(|w| (w.priority, std::cmp::Reverse(w.seq)))
+                    {
+                        if top.priority > eff {
+                            let by = top.obs;
                             ctx.revoke.store(true, Ordering::Release);
-                            self.stats
-                                .revocations_requested
-                                .fetch_add(1, Ordering::Relaxed);
+                            self.stats.revocations_requested.fetch_add(1, Ordering::Relaxed);
+                            obs::emit(self.id, EventKind::RevokeRequest { by });
                         }
                     }
                 }
@@ -313,12 +337,14 @@ impl RevocableMonitor {
                 registry::on_unblock(me.id());
                 registry::on_acquire(self.id, me.clone(), eff, Arc::clone(&ctx));
                 self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+                obs::emit(self.id, EventKind::Acquire);
                 return ctx;
             }
             // Contended.
             if !counted_contended {
                 self.stats.contended.fetch_add(1, Ordering::Relaxed);
                 counted_contended = true;
+                obs::emit(self.id, EventKind::Block);
             }
             match self.policy {
                 InversionPolicy::Revocation => {
@@ -329,6 +355,13 @@ impl RevocableMonitor {
                                     self.stats
                                         .revocations_requested
                                         .fetch_add(1, Ordering::Relaxed);
+                                    if obs::enabled() {
+                                        obs::emit_for(
+                                            s.owner_obs,
+                                            self.id,
+                                            EventKind::RevokeRequest { by: obs::obs_tid() },
+                                        );
+                                    }
                                 }
                                 // Wake the holder wherever it is parked so
                                 // it reaches a yield point promptly.
@@ -336,9 +369,14 @@ impl RevocableMonitor {
                                     h.unpark();
                                 }
                             } else {
-                                self.stats
-                                    .inversions_unresolved
-                                    .fetch_add(1, Ordering::Relaxed);
+                                self.stats.inversions_unresolved.fetch_add(1, Ordering::Relaxed);
+                                if obs::enabled() {
+                                    obs::emit_for(
+                                        s.owner_obs,
+                                        self.id,
+                                        EventKind::InversionUnresolved { by: obs::obs_tid() },
+                                    );
+                                }
                             }
                         }
                     }
@@ -362,6 +400,7 @@ impl RevocableMonitor {
                     tid: me.id(),
                     priority: eff,
                     seq,
+                    obs: if obs::enabled() { obs::obs_tid() } else { 0 },
                 });
                 enqueued = true;
                 drop(s);
@@ -388,6 +427,13 @@ impl RevocableMonitor {
         }
     }
 
+    /// Emit a `Rollback` event whose duration is measured from `t0`
+    /// (nanoseconds, observability clock).
+    fn emit_rollback(&self, entries: u64, t0: u64) {
+        let duration = obs::now_ns().saturating_sub(t0);
+        obs::emit(self.id, EventKind::Rollback { entries, duration });
+    }
+
     /// Commit the section's undo entries (into the parent section, or
     /// discard at the outermost level) and release one recursion level.
     fn commit_and_release(&self, ctx: &Arc<SectionCtx>) {
@@ -396,6 +442,11 @@ impl RevocableMonitor {
         let parent = tx::top_section();
         ctx.commit_into(parent.as_deref());
         self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        if parent.is_none() {
+            // Mirror the VM's trace semantics: one Commit per retired
+            // undo log, i.e. per outermost section exit.
+            obs::emit(self.id, EventKind::Commit);
+        }
         self.release(ctx);
     }
 
@@ -412,6 +463,10 @@ impl RevocableMonitor {
         }
         s.owner = None;
         s.owner_handle = None;
+        // Emit before handing off so the stream orders this Release ahead
+        // of the grantee's Acquire (matches the VM: Release only on full
+        // release).
+        obs::emit(self.id, EventKind::Release);
         self.grant_next(&mut s);
         drop(s);
         registry::on_release(self.id);
@@ -424,9 +479,7 @@ impl RevocableMonitor {
             .queue
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq))
-            })
+            .max_by(|(_, a), (_, b)| a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)))
             .map(|(i, _)| i)
         else {
             return;
@@ -442,6 +495,9 @@ impl RevocableMonitor {
         // section non-revocable.
         let flipped = tx::mark_all_nonrevocable();
         self.stats.nonrevocable_marks.fetch_add(flipped, Ordering::Relaxed);
+        if flipped > 0 {
+            obs::emit(self.id, EventKind::NonRevocable);
+        }
         let me = thread::current();
         let notified = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let (rec, saved_ctxs, prio) = {
@@ -453,10 +509,8 @@ impl RevocableMonitor {
             s.recursion = 0;
             s.owner = None;
             s.owner_handle = None;
-            s.wait_set.push(WaitSetEntry {
-                handle: me.clone(),
-                notified: Arc::clone(&notified),
-            });
+            s.wait_set.push(WaitSetEntry { handle: me.clone(), notified: Arc::clone(&notified) });
+            obs::emit(self.id, EventKind::Release);
             self.grant_next(&mut s);
             (rec, saved, prio)
         };
@@ -475,6 +529,7 @@ impl RevocableMonitor {
                 }
                 s.owner = Some(me.id());
                 s.owner_handle = Some(me.clone());
+                s.owner_obs = if obs::enabled() { obs::obs_tid() } else { 0 };
                 s.recursion = rec;
                 s.holder_priority = prio;
                 s.holder_ctxs = saved_ctxs;
@@ -484,13 +539,21 @@ impl RevocableMonitor {
                 drop(s);
                 registry::on_unblock(me.id());
                 registry::on_acquire(self.id, me, prio, Arc::clone(ctx));
+                obs::emit(self.id, EventKind::Acquire);
                 return;
             }
             if !enqueued {
                 let seq = s.next_seq;
                 s.next_seq += 1;
-                s.queue.push(Waiter { handle: me.clone(), tid: me.id(), priority: prio, seq });
+                s.queue.push(Waiter {
+                    handle: me.clone(),
+                    tid: me.id(),
+                    priority: prio,
+                    seq,
+                    obs: if obs::enabled() { obs::obs_tid() } else { 0 },
+                });
                 enqueued = true;
+                obs::emit(self.id, EventKind::Block);
                 drop(s);
                 registry::on_block(self.id, me.clone(), prio);
             } else {
@@ -504,11 +567,7 @@ impl RevocableMonitor {
     /// Wake one or all waiters (they re-contend for the monitor).
     pub(crate) fn notify(&self, all: bool) {
         let mut s = self.state.lock();
-        assert_eq!(
-            s.owner,
-            Some(thread::current().id()),
-            "notify on an unowned monitor"
-        );
+        assert_eq!(s.owner, Some(thread::current().id()), "notify on an unowned monitor");
         if all {
             for w in s.wait_set.drain(..) {
                 w.notified.store(true, Ordering::Release);

@@ -1,0 +1,111 @@
+//! Hook between the locks runtime and the `revmon-obs` event layer.
+//!
+//! The library has no natural "VM object" to hang a sink on, so the sink
+//! is process-global: [`install`] attaches one, [`uninstall`] detaches
+//! it. Every instrumentation site first checks one relaxed atomic — with
+//! no sink installed an event site costs a single load-and-branch.
+//!
+//! Timestamps are monotonic wall-clock nanoseconds since the first use
+//! of this module in the process ([`revmon_obs::TsUnit::WallNanos`]).
+
+use parking_lot::Mutex;
+use revmon_obs::{Event, EventKind, EventSink};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Arc<EventSink>>> = Mutex::new(None);
+
+/// Attach a sink; subsequent monitor events are recorded into it.
+pub fn install(sink: Arc<EventSink>) {
+    *SINK.lock() = Some(sink);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Detach and return the current sink, if any.
+pub fn uninstall() -> Option<Arc<EventSink>> {
+    ENABLED.store(false, Ordering::SeqCst);
+    SINK.lock().take()
+}
+
+/// Whether a sink is installed. The cheap gate for sites that must do
+/// extra work (e.g. read the clock) before emitting.
+#[inline]
+pub(crate) fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Monotonic nanoseconds since the module's first use.
+pub(crate) fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Small dense id for the current OS thread, stable for its lifetime.
+pub(crate) fn obs_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Emit one event for the current thread, stamped now. One branch when
+/// no sink is installed.
+#[inline]
+pub(crate) fn emit(monitor: u64, kind: EventKind) {
+    if !enabled() {
+        return;
+    }
+    emit_slow(obs_tid(), monitor, kind);
+}
+
+/// Emit an event attributed to another thread (e.g. flagging a holder
+/// for revocation). One branch when no sink is installed.
+#[inline]
+pub(crate) fn emit_for(thread: u64, monitor: u64, kind: EventKind) {
+    if !enabled() {
+        return;
+    }
+    emit_slow(thread, monitor, kind);
+}
+
+#[cold]
+fn emit_slow(thread: u64, monitor: u64, kind: EventKind) {
+    let sink = SINK.lock().clone();
+    if let Some(sink) = sink {
+        sink.record(Event { ts: now_ns(), thread, monitor, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmon_obs::TsUnit;
+
+    #[test]
+    fn obs_tids_are_stable_per_thread() {
+        let a = obs_tid();
+        let b = obs_tid();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(obs_tid).join().unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_noop() {
+        // Never installs a sink in this test binary: just must not panic.
+        emit(1, EventKind::Acquire);
+    }
+
+    #[test]
+    fn install_uninstall_round_trip() {
+        let sink = Arc::new(EventSink::new(TsUnit::WallNanos));
+        install(Arc::clone(&sink));
+        assert!(enabled());
+        let back = uninstall().expect("sink was installed");
+        assert!(Arc::ptr_eq(&back, &sink));
+        assert!(!enabled());
+    }
+}

@@ -10,12 +10,15 @@
 //! `Thread` handle (unpark), so the breaker never needs another monitor's
 //! state lock.
 
+use crate::obs;
+use crate::stats::{MonitorStats, StatsSnapshot};
 use crate::tx::SectionCtx;
 use parking_lot::Mutex;
 use revmon_core::{MonitorId, Priority, ThreadId, WaitsForGraph};
+use revmon_obs::{Event, EventKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::Thread;
 
 /// Global deadlock counters (library-wide, since cycles span monitors).
@@ -27,6 +30,8 @@ struct HolderInfo {
     thread: ThreadId,
     handle: Thread,
     priority: Priority,
+    /// Observability id of the holder (0 when tracing is off).
+    obs: u64,
     /// Outermost section of the holder on this monitor — the revocation
     /// target for deadlock breaking.
     ctx: Arc<SectionCtx>,
@@ -69,9 +74,10 @@ pub(crate) fn on_acquire(
     priority: Priority,
     ctx: Arc<SectionCtx>,
 ) {
+    let obs = if obs::enabled() { obs::obs_tid() } else { 0 };
     let mut r = registry().lock();
     let me = r.dense_id(handle.id());
-    r.holders.insert(monitor_id, HolderInfo { thread: me, handle, priority, ctx });
+    r.holders.insert(monitor_id, HolderInfo { thread: me, handle, priority, obs, ctx });
     r.graph.retarget_monitor(mid(monitor_id), me);
 }
 
@@ -99,14 +105,13 @@ pub(crate) fn on_block(monitor_id: u64, handle: Thread, _priority: Priority) -> 
         return false;
     };
     DEADLOCKS_DETECTED.fetch_add(1, Ordering::Relaxed);
+    obs::emit(Event::NO_MONITOR, EventKind::DeadlockDetected { cycle_len: cycle.len() as u64 });
     // Victim: lowest-priority (youngest on ties) member holding a
     // *revocable* section on the monitor its predecessor waits for.
     let mut candidates: Vec<(Priority, std::cmp::Reverse<u32>, u64)> = Vec::new();
     for &v in &cycle {
-        let Some(pred_edge) = cycle
-            .iter()
-            .filter_map(|&p| r.graph.edge_of(p))
-            .find(|e| e.owner == v)
+        let Some(pred_edge) =
+            cycle.iter().filter_map(|&p| r.graph.edge_of(p)).find(|e| e.owner == v)
         else {
             continue;
         };
@@ -125,7 +130,32 @@ pub(crate) fn on_block(monitor_id: u64, handle: Thread, _priority: Priority) -> 
     h.ctx.revoke.store(true, Ordering::Release);
     h.handle.unpark();
     DEADLOCKS_BROKEN.fetch_add(1, Ordering::Relaxed);
+    obs::emit_for(h.obs, victim_monitor, EventKind::DeadlockBroken);
     true
+}
+
+/// Monitors register their counters here so library-wide aggregates stay
+/// available without keeping dropped monitors alive.
+static STATS_REGISTRY: Mutex<Vec<Weak<MonitorStats>>> = Mutex::new(Vec::new());
+
+/// Register a monitor's counters for [`aggregate_snapshot`].
+pub(crate) fn register_stats(stats: &Arc<MonitorStats>) {
+    STATS_REGISTRY.lock().push(Arc::downgrade(stats));
+}
+
+/// Sum of the counters of every live monitor in the process, plus the
+/// library-wide deadlock-detected count (a global, since cycles span
+/// monitors). Dropped monitors are pruned on the way through.
+pub fn aggregate_snapshot() -> StatsSnapshot {
+    let mut reg = STATS_REGISTRY.lock();
+    reg.retain(|w| w.strong_count() > 0);
+    let mut total = StatsSnapshot::default();
+    for w in reg.iter() {
+        if let Some(s) = w.upgrade() {
+            total.merge(&s.snapshot());
+        }
+    }
+    total
 }
 
 /// Record that `thread` stopped waiting (granted, or revoked out of the

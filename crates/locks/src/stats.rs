@@ -1,64 +1,106 @@
 //! Per-monitor counters.
+//!
+//! One field list generates both the internal atomic counters
+//! ([`MonitorStats`]) and the public point-in-time copy
+//! ([`StatsSnapshot`]), so `snapshot`, `merge`, and the by-name export
+//! can never drift out of sync with the counter set.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Internal atomic counters of one monitor.
-#[derive(Debug, Default)]
-pub(crate) struct MonitorStats {
-    pub acquires: AtomicU64,
-    pub contended: AtomicU64,
-    pub revocations_requested: AtomicU64,
-    pub rollbacks: AtomicU64,
-    pub entries_rolled_back: AtomicU64,
-    pub commits: AtomicU64,
-    pub inversions_unresolved: AtomicU64,
-    pub log_entries: AtomicU64,
-    pub nonrevocable_marks: AtomicU64,
-    pub deadlocks_broken: AtomicU64,
-    pub priority_boosts: AtomicU64,
-}
-
-/// A point-in-time copy of a monitor's counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    /// Successful acquisitions (uncontended + granted + reentrant).
-    pub acquires: u64,
-    /// Blocking episodes on the entry queue.
-    pub contended: u64,
-    /// Revocation flags raised against holders of this monitor.
-    pub revocations_requested: u64,
-    /// Sections of this monitor rolled back.
-    pub rollbacks: u64,
-    /// Undo entries restored by those rollbacks.
-    pub entries_rolled_back: u64,
-    /// Sections committed.
-    pub commits: u64,
-    /// Inversions left unresolved (holder non-revocable).
-    pub inversions_unresolved: u64,
-    /// Undo-log entries written (write-barrier slow paths).
-    pub log_entries: u64,
-    /// Sections marked non-revocable.
-    pub nonrevocable_marks: u64,
-    /// Deadlocks broken by revoking a holder of this monitor.
-    pub deadlocks_broken: u64,
-    /// Priority-inheritance / ceiling boosts applied.
-    pub priority_boosts: u64,
-}
-
-impl MonitorStats {
-    pub(crate) fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            acquires: self.acquires.load(Ordering::Relaxed),
-            contended: self.contended.load(Ordering::Relaxed),
-            revocations_requested: self.revocations_requested.load(Ordering::Relaxed),
-            rollbacks: self.rollbacks.load(Ordering::Relaxed),
-            entries_rolled_back: self.entries_rolled_back.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            inversions_unresolved: self.inversions_unresolved.load(Ordering::Relaxed),
-            log_entries: self.log_entries.load(Ordering::Relaxed),
-            nonrevocable_marks: self.nonrevocable_marks.load(Ordering::Relaxed),
-            deadlocks_broken: self.deadlocks_broken.load(Ordering::Relaxed),
-            priority_boosts: self.priority_boosts.load(Ordering::Relaxed),
+macro_rules! define_stats {
+    ($( $(#[$doc:meta])* $field:ident ),+ $(,)?) => {
+        /// Internal atomic counters of one monitor.
+        #[derive(Debug, Default)]
+        pub(crate) struct MonitorStats {
+            $( pub $field: AtomicU64, )+
         }
+
+        /// A point-in-time copy of a monitor's counters.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $( $(#[$doc])* pub $field: u64, )+
+        }
+
+        impl MonitorStats {
+            pub(crate) fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $field: self.$field.load(Ordering::Relaxed), )+
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Component-wise sum, for aggregating across monitors.
+            /// Generated from the field list, so it cannot drop a field.
+            pub fn merge(&mut self, other: &StatsSnapshot) {
+                $( self.$field += other.$field; )+
+            }
+
+            /// Visit every counter as `(name, value)`, in declaration
+            /// order.
+            pub fn for_each_field(&self, mut f: impl FnMut(&'static str, u64)) {
+                $( f(stringify!($field), self.$field); )+
+            }
+
+            /// Snapshot with every counter set to `v` (test helper for
+            /// exhaustiveness checks).
+            #[doc(hidden)]
+            pub fn uniform(v: u64) -> Self {
+                StatsSnapshot { $( $field: v, )+ }
+            }
+        }
+    };
+}
+
+define_stats! {
+    /// Successful acquisitions (uncontended + granted + reentrant).
+    acquires,
+    /// Blocking episodes on the entry queue.
+    contended,
+    /// Revocation flags raised against holders of this monitor.
+    revocations_requested,
+    /// Sections of this monitor rolled back.
+    rollbacks,
+    /// Undo entries restored by those rollbacks.
+    entries_rolled_back,
+    /// Sections committed.
+    commits,
+    /// Inversions left unresolved (holder non-revocable).
+    inversions_unresolved,
+    /// Undo-log entries written (write-barrier slow paths).
+    log_entries,
+    /// Sections marked non-revocable.
+    nonrevocable_marks,
+    /// Deadlocks broken by revoking a holder of this monitor.
+    deadlocks_broken,
+    /// Priority-inheritance / ceiling boosts applied.
+    priority_boosts,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_cannot_drop_a_field() {
+        let mut total = StatsSnapshot::uniform(1);
+        total.merge(&StatsSnapshot::uniform(10));
+        let mut n = 0;
+        total.for_each_field(|name, v| {
+            assert_eq!(v, 11, "field {name} dropped by merge");
+            n += 1;
+        });
+        assert!(n >= 11, "field list shrank unexpectedly");
+    }
+
+    #[test]
+    fn snapshot_reads_the_atomics() {
+        let stats = MonitorStats::default();
+        stats.acquires.fetch_add(2, Ordering::Relaxed);
+        stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.acquires, 2);
+        assert_eq!(snap.rollbacks, 1);
+        assert_eq!(snap.commits, 0);
     }
 }

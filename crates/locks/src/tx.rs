@@ -118,10 +118,7 @@ pub fn section_depth() -> usize {
 /// target a yield point must unwind to.
 pub(crate) fn outermost_flagged() -> Option<u64> {
     SECTIONS.with(|s| {
-        s.borrow()
-            .iter()
-            .find(|c| c.revoke.load(Ordering::Acquire) && c.revocable())
-            .map(|c| c.id)
+        s.borrow().iter().find(|c| c.revoke.load(Ordering::Acquire) && c.revocable()).map(|c| c.id)
     })
 }
 
@@ -199,10 +196,10 @@ impl Tx<'_> {
     pub fn write_volatile(&self, cell: &VolatileCell, v: i64) {
         poll_revocation();
         let flipped = mark_all_nonrevocable();
-        self.monitor
-            .stats
-            .nonrevocable_marks
-            .fetch_add(flipped, Ordering::Relaxed);
+        self.monitor.stats.nonrevocable_marks.fetch_add(flipped, Ordering::Relaxed);
+        if flipped > 0 {
+            crate::obs::emit(self.ctx.monitor_id, revmon_obs::EventKind::NonRevocable);
+        }
         cell.value.store(v, Ordering::SeqCst);
     }
 
@@ -218,10 +215,10 @@ impl Tx<'_> {
     /// closure can safely perform I/O or other non-undoable work.
     pub fn irrevocable(&self) {
         let flipped = mark_all_nonrevocable();
-        self.monitor
-            .stats
-            .nonrevocable_marks
-            .fetch_add(flipped, Ordering::Relaxed);
+        self.monitor.stats.nonrevocable_marks.fetch_add(flipped, Ordering::Relaxed);
+        if flipped > 0 {
+            crate::obs::emit(self.ctx.monitor_id, revmon_obs::EventKind::NonRevocable);
+        }
     }
 
     /// `Object.wait()`: release the monitor and park until notified.

@@ -57,10 +57,7 @@ fn crossed_monitors_deadlock_is_broken() {
     t1.join().unwrap();
     t2.join().unwrap();
     assert_eq!(cell.read_unsynchronized(), 2, "both inner sections completed");
-    assert!(
-        DEADLOCKS_BROKEN.load(Ordering::Relaxed) > before,
-        "a victim must have been revoked"
-    );
+    assert!(DEADLOCKS_BROKEN.load(Ordering::Relaxed) > before, "a victim must have been revoked");
     assert!(a.stats().rollbacks + b.stats().rollbacks >= 1);
 }
 

@@ -1,0 +1,93 @@
+//! Event-stream contract of the locks runtime: a priority-inversion
+//! scenario must emit `Block → RevokeRequest → Rollback → Acquire` (the
+//! high-priority thread's), in that order, into an installed
+//! `revmon-obs` sink — the library analogue of the paper's Figure 1
+//! timeline.
+//!
+//! Lives in its own integration-test binary because the obs sink is
+//! process-global.
+
+use revmon_core::Priority;
+use revmon_locks::{RevocableMonitor, TCell};
+use revmon_obs::{EventKind, EventSink, TsUnit};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn inversion_emits_block_revoke_rollback_acquire() {
+    let sink = Arc::new(EventSink::new(TsUnit::WallNanos));
+    revmon_locks::obs::install(Arc::clone(&sink));
+
+    let monitor = Arc::new(RevocableMonitor::new());
+    let cell = TCell::new(0i64);
+    let low_in = Arc::new(AtomicBool::new(false));
+    let high_done = Arc::new(AtomicBool::new(false));
+
+    let low = {
+        let m = Arc::clone(&monitor);
+        let c = cell.clone();
+        let low_in = Arc::clone(&low_in);
+        let high_done = Arc::clone(&high_done);
+        std::thread::spawn(move || {
+            let attempts = AtomicU32::new(0);
+            m.enter(Priority::LOW, |tx| {
+                let attempt = attempts.fetch_add(1, Ordering::Relaxed);
+                tx.write(&c, 1);
+                low_in.store(true, Ordering::Release);
+                if attempt == 0 {
+                    // Hold the monitor at yield points until the
+                    // high-priority thread either revokes us (unwinds
+                    // out of checkpoint) or has finished.
+                    while !high_done.load(Ordering::Acquire) {
+                        tx.checkpoint();
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        })
+    };
+
+    while !low_in.load(Ordering::Acquire) {
+        std::hint::spin_loop();
+    }
+    monitor.enter(Priority::HIGH, |tx| tx.checkpoint());
+    high_done.store(true, Ordering::Release);
+    low.join().unwrap();
+
+    revmon_locks::obs::uninstall();
+    let events = sink.drain();
+
+    let i_block = events
+        .iter()
+        .position(|e| e.kind == EventKind::Block)
+        .expect("high-priority thread should have blocked");
+    let high_tid = events[i_block].thread;
+    let i_revoke = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::RevokeRequest { by } if by == high_tid))
+        .expect("holder should have been flagged for revocation");
+    let i_rollback = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::Rollback { .. }))
+        .expect("low-priority section should have rolled back");
+    let i_acquire = events
+        .iter()
+        .enumerate()
+        .position(|(i, e)| i > i_block && e.thread == high_tid && e.kind == EventKind::Acquire)
+        .expect("high-priority thread should have acquired after blocking");
+
+    assert!(
+        i_block < i_revoke && i_revoke < i_rollback && i_rollback < i_acquire,
+        "expected Block({i_block}) < RevokeRequest({i_revoke}) < \
+         Rollback({i_rollback}) < Acquire({i_acquire}) in {events:#?}"
+    );
+
+    // The rolled-back low thread retried and committed: its write stands.
+    assert_eq!(cell.read_unsynchronized(), 1);
+
+    // The derived latency histograms saw the episode.
+    let h = sink.histograms();
+    assert!(h.entry_blocking.count() >= 1, "no blocking time derived");
+    assert!(h.rollback_duration.count() >= 1, "no rollback duration derived");
+    assert!(h.inversion_resolution.count() >= 1, "no inversion-resolution latency derived");
+}

@@ -358,9 +358,8 @@ fn try_enter_semantics() {
 /// and no revocation machinery engages.
 #[test]
 fn ceiling_policy_boosts_and_stays_correct() {
-    let m = Arc::new(RevocableMonitor::with_policy(InversionPolicy::PriorityCeiling(
-        Priority::MAX,
-    )));
+    let m =
+        Arc::new(RevocableMonitor::with_policy(InversionPolicy::PriorityCeiling(Priority::MAX)));
     let cell = TCell::new(0i64);
     let handles: Vec<_> = (0..4)
         .map(|i| {

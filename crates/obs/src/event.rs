@@ -1,0 +1,111 @@
+//! The runtime-agnostic structured event model.
+//!
+//! Both runtimes reduce their monitor activity to the same small event
+//! vocabulary: the VM's `TraceEvent` variants map 1:1 onto
+//! [`EventKind`], and the real-thread library emits the same kinds from
+//! its instrumentation points. Thread and monitor identifiers are plain
+//! `u64`s so the layer carries no dependency on either runtime's types.
+
+/// What happened. Mirrors the VM's trace vocabulary, with payloads the
+/// exporters and latency derivation need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Thread acquired the monitor (uncontended, handed off, or
+    /// recursive re-entry).
+    Acquire,
+    /// Thread blocked on the monitor's entry queue.
+    Block,
+    /// A higher-priority contender flagged the holder for revocation.
+    RevokeRequest {
+        /// Requesting (high-priority) thread.
+        by: u64,
+    },
+    /// A synchronized section was rolled back.
+    Rollback {
+        /// Undo-log entries restored.
+        entries: u64,
+        /// How long the rollback took, in the producer's clock units
+        /// (virtual ticks in the VM, wall-clock nanoseconds in the
+        /// locks runtime).
+        duration: u64,
+    },
+    /// A section committed (outermost exit retired the undo log).
+    Commit,
+    /// Thread fully released the monitor (recursion count hit zero).
+    Release,
+    /// The section was marked non-revocable (JMM guard, native call,
+    /// nested wait).
+    NonRevocable,
+    /// A deadlock cycle was detected.
+    DeadlockDetected {
+        /// Number of threads in the cycle.
+        cycle_len: u64,
+    },
+    /// A deadlock was broken by revoking the event's thread.
+    DeadlockBroken,
+    /// An inversion was detected but could not be resolved (the holder
+    /// is non-revocable).
+    InversionUnresolved {
+        /// High-priority requester.
+        by: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable name used by every exporter.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Acquire => "Acquire",
+            EventKind::Block => "Block",
+            EventKind::RevokeRequest { .. } => "RevokeRequest",
+            EventKind::Rollback { .. } => "Rollback",
+            EventKind::Commit => "Commit",
+            EventKind::Release => "Release",
+            EventKind::NonRevocable => "NonRevocable",
+            EventKind::DeadlockDetected { .. } => "DeadlockDetected",
+            EventKind::DeadlockBroken => "DeadlockBroken",
+            EventKind::InversionUnresolved { .. } => "InversionUnresolved",
+        }
+    }
+}
+
+/// One timestamped monitor event.
+///
+/// `thread` is the primary actor: the acquirer/blocker/releaser, the
+/// flagged holder for [`EventKind::RevokeRequest`] and
+/// [`EventKind::InversionUnresolved`], the victim for
+/// [`EventKind::DeadlockBroken`]. Events without a natural monitor
+/// (deadlock detection) use [`Event::NO_MONITOR`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in the producing runtime's clock units (virtual ticks
+    /// for the VM, monotonic wall-clock nanoseconds for the locks
+    /// runtime — see `TsUnit` on the sink).
+    pub ts: u64,
+    /// Primary thread of the event.
+    pub thread: u64,
+    /// Monitor involved, or [`Event::NO_MONITOR`].
+    pub monitor: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Sentinel monitor id for events not tied to one monitor.
+    pub const NO_MONITOR: u64 = u64::MAX;
+    /// Sentinel thread id for events not attributable to one thread
+    /// (e.g. deadlock detection performed by the runtime itself).
+    pub const NO_THREAD: u64 = u64::MAX;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EventKind::Acquire.name(), "Acquire");
+        assert_eq!(EventKind::RevokeRequest { by: 3 }.name(), "RevokeRequest");
+        assert_eq!(EventKind::Rollback { entries: 1, duration: 2 }.name(), "Rollback");
+    }
+}

@@ -1,0 +1,358 @@
+//! Exporters: JSON Lines events, Chrome `trace_event` JSON (loadable in
+//! Perfetto / `chrome://tracing`), and a human-readable text summary.
+//!
+//! JSON is emitted by hand — the payloads are flat and numeric, and the
+//! build environment has no serde. Everything writes through
+//! `io::Write` so the CLI can target files and tests can target `Vec`s.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+use crate::event::{Event, EventKind};
+use crate::latency::Histograms;
+use crate::sink::TsUnit;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn kind_extras(kind: &EventKind) -> String {
+    match kind {
+        EventKind::RevokeRequest { by } | EventKind::InversionUnresolved { by } => {
+            format!(",\"by\":{by}")
+        }
+        EventKind::Rollback { entries, duration } => {
+            format!(",\"entries\":{entries},\"duration\":{duration}")
+        }
+        EventKind::DeadlockDetected { cycle_len } => format!(",\"cycle_len\":{cycle_len}"),
+        _ => String::new(),
+    }
+}
+
+/// Write events as JSON Lines: one flat object per event, in order.
+pub fn write_events_jsonl<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> {
+    for ev in events {
+        let monitor = if ev.monitor == Event::NO_MONITOR {
+            "null".to_string()
+        } else {
+            ev.monitor.to_string()
+        };
+        writeln!(
+            w,
+            "{{\"ts\":{},\"thread\":{},\"monitor\":{},\"kind\":\"{}\"{}}}",
+            ev.ts,
+            ev.thread,
+            monitor,
+            ev.kind.name(),
+            kind_extras(&ev.kind),
+        )?;
+    }
+    Ok(())
+}
+
+/// Write events in Chrome `trace_event` format.
+///
+/// Monitor-held time and entry-queue blocking render as duration spans
+/// (`B`/`E`), rollbacks as complete events (`X`) with their measured
+/// duration, and everything else as instants (`i`). Spans still open at
+/// the end of the stream are closed at the last timestamp so the file
+/// always balances.
+pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[Event], unit: TsUnit) -> io::Result<()> {
+    let mut first = true;
+    let mut emit = |w: &mut W, json: String| -> io::Result<()> {
+        if first {
+            first = false;
+            write!(w, "\n{json}")
+        } else {
+            write!(w, ",\n{json}")
+        }
+    };
+    let span = |ph: &str, name: &str, cat: &str, tid: u64, ts: f64| {
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{:.3}}}",
+            esc(name),
+            cat,
+            ph,
+            tid,
+            ts
+        )
+    };
+
+    write!(w, "{{\"traceEvents\":[")?;
+    // Per-thread stack of monitors with an open "held" span, and the
+    // monitor each thread is currently blocked on.
+    let mut held: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut blocked: HashMap<u64, u64> = HashMap::new();
+    let mut last_ts = 0u64;
+
+    for ev in events {
+        last_ts = last_ts.max(ev.ts);
+        let us = unit.to_micros(ev.ts);
+        match ev.kind {
+            EventKind::Block => {
+                if blocked.insert(ev.thread, ev.monitor).is_none() {
+                    let name = format!("blocked: monitor {}", ev.monitor);
+                    emit(w, span("B", &name, "blocking", ev.thread, us))?;
+                }
+            }
+            EventKind::Acquire => {
+                if let Some(m) = blocked.remove(&ev.thread) {
+                    let name = format!("blocked: monitor {m}");
+                    emit(w, span("E", &name, "blocking", ev.thread, us))?;
+                }
+                let stack = held.entry(ev.thread).or_default();
+                // Reentrant acquires keep the existing span open.
+                if !stack.contains(&ev.monitor) {
+                    stack.push(ev.monitor);
+                    let name = format!("monitor {} held", ev.monitor);
+                    emit(w, span("B", &name, "monitor", ev.thread, us))?;
+                }
+            }
+            EventKind::Release | EventKind::Rollback { .. } => {
+                if let EventKind::Rollback { entries, duration } = ev.kind {
+                    let start = unit.to_micros(ev.ts.saturating_sub(duration));
+                    let dur = unit.to_micros(ev.ts) - start;
+                    emit(
+                        w,
+                        format!(
+                            "{{\"name\":\"rollback\",\"cat\":\"revocation\",\"ph\":\"X\",\
+                             \"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+                             \"args\":{{\"entries\":{}}}}}",
+                            ev.thread, start, dur, entries
+                        ),
+                    )?;
+                }
+                // Close spans down to (and including) this monitor so
+                // B/E stay properly nested even if inner sections were
+                // torn down by an unwind.
+                if let Some(stack) = held.get_mut(&ev.thread) {
+                    if stack.contains(&ev.monitor) {
+                        while let Some(m) = stack.pop() {
+                            let name = format!("monitor {m} held");
+                            emit(w, span("E", &name, "monitor", ev.thread, us))?;
+                            if m == ev.monitor {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                let args = kind_extras(&ev.kind);
+                let args_obj = if args.is_empty() {
+                    format!("{{\"monitor\":{}}}", ev.monitor)
+                } else {
+                    format!("{{\"monitor\":{}{args}}}", ev.monitor)
+                };
+                emit(
+                    w,
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"monitor\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":1,\"tid\":{},\"ts\":{:.3},\"args\":{}}}",
+                        ev.kind.name(),
+                        ev.thread,
+                        us,
+                        args_obj
+                    ),
+                )?;
+            }
+        }
+    }
+
+    // Balance anything still open at the end of the stream.
+    let end_us = unit.to_micros(last_ts);
+    for (thread, monitor) in blocked {
+        let name = format!("blocked: monitor {monitor}");
+        emit(w, span("E", &name, "blocking", thread, end_us))?;
+    }
+    for (thread, stack) in held {
+        for m in stack.into_iter().rev() {
+            let name = format!("monitor {m} held");
+            emit(w, span("E", &name, "monitor", thread, end_us))?;
+        }
+    }
+    writeln!(w, "\n]}}")
+}
+
+fn hist_json(name: &str, h: &crate::hist::Histogram) -> String {
+    format!(
+        "    \"{}\": {{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\
+         \"min\":{},\"max\":{}}}",
+        esc(name),
+        h.count(),
+        h.mean(),
+        h.percentile(50.0),
+        h.percentile(90.0),
+        h.percentile(99.0),
+        h.min(),
+        h.max()
+    )
+}
+
+/// Render counters and histogram percentiles as one JSON document (the
+/// CLI's `--metrics-json` payload).
+pub fn metrics_json(counters: &[(&str, u64)], hists: &Histograms, unit: TsUnit) -> String {
+    let mut out = String::from("{\n  \"counters\": {\n");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {}{}\n", esc(name), v, comma));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"ts_unit\": \"{}\",\n", unit.suffix()));
+    out.push_str("  \"histograms\": {\n");
+    let mut rows = Vec::new();
+    hists.for_each(|name, h| rows.push(hist_json(name, h)));
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Write the human-readable summary table: per-histogram count, mean,
+/// p50/p90/p99, max.
+pub fn write_summary<W: Write>(
+    w: &mut W,
+    hists: &Histograms,
+    unit: TsUnit,
+    recorded: u64,
+    dropped: u64,
+) -> io::Result<()> {
+    writeln!(w, "events: {recorded} recorded, {dropped} dropped (ring overflow)")?;
+    writeln!(
+        w,
+        "{:<22} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}  unit",
+        "histogram", "count", "mean", "p50", "p90", "p99", "max"
+    )?;
+    let mut err = None;
+    hists.for_each(|name, h| {
+        if err.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(
+            w,
+            "{:<22} {:>8} {:>12.1} {:>10} {:>10} {:>10} {:>10}  {}",
+            name,
+            h.count(),
+            h.mean(),
+            h.percentile(50.0),
+            h.percentile(90.0),
+            h.percentile(99.0),
+            h.max(),
+            unit.suffix()
+        ) {
+            err = Some(e);
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, thread: u64, monitor: u64, kind: EventKind) -> Event {
+        Event { ts, thread, monitor, kind }
+    }
+
+    fn inversion_scenario() -> Vec<Event> {
+        vec![
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+            ev(30, 1, 7, EventKind::Rollback { entries: 4, duration: 6 }),
+            ev(31, 2, 7, EventKind::Acquire),
+            ev(40, 2, 7, EventKind::Commit),
+            ev(40, 2, 7, EventKind::Release),
+        ]
+    }
+
+    #[test]
+    fn jsonl_emits_one_parsable_line_per_event() {
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &inversion_scenario()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].starts_with("{\"ts\":10,\"thread\":1,\"monitor\":7,"));
+        assert!(lines[2].contains("\"kind\":\"RevokeRequest\""));
+        assert!(lines[2].contains("\"by\":2"));
+        assert!(lines[3].contains("\"entries\":4,\"duration\":6"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line {line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_balances_spans() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &inversion_scenario(), TsUnit::VirtualTicks).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        let b = text.matches("\"ph\":\"B\"").count();
+        let e = text.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e, "unbalanced spans in {text}");
+        assert!(text.contains("\"ph\":\"X\"")); // rollback
+        assert!(text.contains("\"ph\":\"i\"")); // revoke-request instant
+                                                // Thread 1's span is closed by the rollback, not a release.
+        assert!(text.contains("monitor 7 held"));
+    }
+
+    #[test]
+    fn chrome_trace_closes_dangling_spans_at_end() {
+        let events = vec![ev(5, 1, 3, EventKind::Acquire), ev(9, 2, 3, EventKind::Block)];
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events, TsUnit::WallNanos).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let b = text.matches("\"ph\":\"B\"").count();
+        let e = text.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, 2);
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn metrics_json_contains_counters_and_percentiles() {
+        let hists = Histograms::default();
+        hists.entry_blocking.record(10);
+        hists.rollback_duration.record(6);
+        let json = metrics_json(&[("acquires", 3), ("rollbacks", 1)], &hists, TsUnit::VirtualTicks);
+        assert!(json.contains("\"acquires\": 3"));
+        assert!(json.contains("\"rollbacks\": 1"));
+        assert!(json.contains("\"entry_blocking\""));
+        assert!(json.contains("\"rollback_duration\""));
+        assert!(json.contains("\"p50\""));
+        assert!(json.contains("\"p99\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn summary_lists_all_histograms() {
+        let hists = Histograms::default();
+        hists.section_length.record(100);
+        let mut buf = Vec::new();
+        write_summary(&mut buf, &hists, TsUnit::WallNanos, 12, 0).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for name in
+            ["entry_blocking", "section_length", "rollback_duration", "inversion_resolution"]
+        {
+            assert!(text.contains(name), "missing {name} in {text}");
+        }
+        assert!(text.contains("12 recorded"));
+    }
+}

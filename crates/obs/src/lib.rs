@@ -1,0 +1,43 @@
+//! `revmon-obs`: unified event tracing and metrics export for both
+//! revmon runtimes.
+//!
+//! The deterministic VM (`revmon-vm`) and the real-thread library
+//! (`revmon-locks`) each observe the same conceptual monitor events —
+//! acquire, block, revoke-request, rollback, commit, release — but
+//! historically exposed them through different mechanisms (an in-VM
+//! trace vector vs. per-monitor atomic counters). This crate gives both
+//! a single structured pipeline:
+//!
+//! * [`Event`] / [`EventKind`] — the runtime-agnostic event model; the
+//!   VM's virtual clock and the locks runtime's monotonic wall clock
+//!   both fit the `u64` timestamp (the sink's [`TsUnit`] says which).
+//! * [`EventSink`] — sharded bounded ring buffers plus online latency
+//!   derivation ([`Histograms`]): entry-queue blocking time, section
+//!   length, rollback duration, and inversion-resolution latency
+//!   (revoke request → high-priority acquire), each in an HDR-style
+//!   log-linear [`Histogram`] with fixed memory and an allocation-free
+//!   record path. A disabled sink costs one relaxed atomic load per
+//!   event site.
+//! * exporters — [`write_events_jsonl`] (JSON Lines),
+//!   [`write_chrome_trace`] (Chrome `trace_event`, loadable in Perfetto
+//!   or `chrome://tracing`), [`write_summary`] (p50/p90/p99/max text
+//!   table), and [`metrics_json`] (counters + percentiles as JSON).
+//!
+//! See `docs/observability.md` for the end-to-end guide.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod event;
+mod export;
+mod hist;
+mod latency;
+mod ring;
+mod sink;
+
+pub use event::{Event, EventKind};
+pub use export::{metrics_json, write_chrome_trace, write_events_jsonl, write_summary};
+pub use hist::Histogram;
+pub use latency::{Histograms, LatencyTracker};
+pub use ring::EventRing;
+pub use sink::{EventSink, TsUnit};

@@ -1,0 +1,100 @@
+//! Bounded event ring buffer.
+//!
+//! Each sink shard owns one ring. Capacity is fixed at construction;
+//! recording never allocates after that, and when the ring is full the
+//! oldest event is overwritten (the sink counts the overwrites).
+
+use crate::event::Event;
+
+/// Fixed-capacity ring of `(sequence, event)` pairs, overwriting the
+/// oldest entry when full.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: Vec<(u64, Event)>,
+    cap: usize,
+    /// Index of the oldest entry once the ring has wrapped.
+    head: usize,
+    overwritten: u64,
+}
+
+impl EventRing {
+    /// Ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        EventRing { buf: Vec::with_capacity(cap), cap, head: 0, overwritten: 0 }
+    }
+
+    /// Append, overwriting the oldest event if full. Returns `true` if
+    /// an old event was lost.
+    pub fn push(&mut self, seq: u64, ev: Event) -> bool {
+        if self.buf.len() < self.cap {
+            self.buf.push((seq, ev));
+            false
+        } else {
+            self.buf[self.head] = (seq, ev);
+            self.head = (self.head + 1) % self.cap;
+            self.overwritten += 1;
+            true
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events have been overwritten since the last drain.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Remove and return all held events, oldest first.
+    pub fn drain(&mut self) -> Vec<(u64, Event)> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        self.overwritten = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(ts: u64) -> Event {
+        Event { ts, thread: 1, monitor: 1, kind: EventKind::Acquire }
+    }
+
+    #[test]
+    fn push_below_capacity_keeps_order() {
+        let mut r = EventRing::new(4);
+        for i in 0..3 {
+            assert!(!r.push(i, ev(i)));
+        }
+        let drained = r.drain();
+        assert_eq!(drained.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_counts() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(i, ev(i));
+        }
+        assert_eq!(r.overwritten(), 2);
+        assert_eq!(r.len(), 3);
+        let drained = r.drain();
+        assert_eq!(drained.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.overwritten(), 0);
+    }
+}

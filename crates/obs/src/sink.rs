@@ -1,0 +1,203 @@
+//! The event sink: where both runtimes deliver their events.
+//!
+//! A sink owns sharded bounded ring buffers (so concurrent real threads
+//! don't serialize on one lock), the derived latency histograms, and an
+//! enable flag. When disabled, [`EventSink::record`] is a single relaxed
+//! atomic load and a branch — the cheap path the instrumentation sites
+//! rely on.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::latency::{Histograms, LatencyTracker};
+use crate::ring::EventRing;
+
+/// Number of ring shards; events hash to `thread % NSHARDS`.
+const NSHARDS: usize = 16;
+
+/// Default per-shard ring capacity.
+const DEFAULT_SHARD_CAP: usize = 8192;
+
+/// What one timestamp unit means for a sink's producers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TsUnit {
+    /// Deterministic virtual-clock ticks (the VM runtime).
+    VirtualTicks,
+    /// Monotonic wall-clock nanoseconds (the locks runtime).
+    WallNanos,
+}
+
+impl TsUnit {
+    /// Convert a timestamp to Chrome-trace microseconds. Virtual ticks
+    /// render as 1 tick = 1 µs so traces stay readable.
+    pub fn to_micros(self, ts: u64) -> f64 {
+        match self {
+            TsUnit::VirtualTicks => ts as f64,
+            TsUnit::WallNanos => ts as f64 / 1000.0,
+        }
+    }
+
+    /// Unit suffix for human-readable summaries.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            TsUnit::VirtualTicks => "ticks",
+            TsUnit::WallNanos => "ns",
+        }
+    }
+}
+
+/// Collects events from one or both runtimes.
+pub struct EventSink {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    shards: [Mutex<EventRing>; NSHARDS],
+    hists: Histograms,
+    tracker: Mutex<LatencyTracker>,
+    unit: TsUnit,
+}
+
+impl EventSink {
+    /// Sink with the default per-shard capacity, enabled.
+    pub fn new(unit: TsUnit) -> Self {
+        Self::with_capacity(unit, DEFAULT_SHARD_CAP)
+    }
+
+    /// Sink whose shards each hold at most `shard_cap` events.
+    pub fn with_capacity(unit: TsUnit, shard_cap: usize) -> Self {
+        EventSink {
+            enabled: AtomicBool::new(true),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(EventRing::new(shard_cap))),
+            hists: Histograms::default(),
+            tracker: Mutex::new(LatencyTracker::new()),
+            unit,
+        }
+    }
+
+    /// The clock domain this sink's timestamps live in.
+    pub fn ts_unit(&self) -> TsUnit {
+        self.unit
+    }
+
+    /// Whether recording is on. One relaxed load — this is the whole
+    /// cost of a disabled event site.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Toggle recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Record one event: stamp a global sequence number, append to the
+    /// thread's shard, and fold into the latency histograms. No-op (one
+    /// branch) when disabled.
+    pub fn record(&self, ev: Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[(ev.thread as usize) % NSHARDS];
+        let lost = lock_clean(shard, |ring| ring.push(seq, ev));
+        if lost {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut tracker = match self.tracker.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        tracker.observe(&ev, &self.hists);
+    }
+
+    /// Events overwritten because a shard ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total events recorded (including any since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The derived latency histograms.
+    pub fn histograms(&self) -> &Histograms {
+        &self.hists
+    }
+
+    /// Remove and return all buffered events in record order.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut all: Vec<(u64, Event)> = Vec::new();
+        for shard in &self.shards {
+            all.extend(lock_clean(shard, |ring| ring.drain()));
+        }
+        all.sort_by_key(|(seq, _)| *seq);
+        all.into_iter().map(|(_, ev)| ev).collect()
+    }
+}
+
+/// Lock a shard, swallowing poison: a panicking thread mid-revocation
+/// (the locks runtime unwinds on purpose) must not wedge tracing.
+fn lock_clean<T, R>(m: &Mutex<T>, f: impl FnOnce(&mut T) -> R) -> R {
+    let mut g = match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    f(&mut g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(ts: u64, thread: u64) -> Event {
+        Event { ts, thread, monitor: 1, kind: EventKind::Acquire }
+    }
+
+    #[test]
+    fn drain_preserves_record_order_across_shards() {
+        let sink = EventSink::new(TsUnit::VirtualTicks);
+        for i in 0..100u64 {
+            sink.record(ev(i, i % 7)); // spread across shards
+        }
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 100);
+        let ts: Vec<u64> = drained.iter().map(|e| e.ts).collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]), "order lost: {ts:?}");
+        assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = EventSink::new(TsUnit::WallNanos);
+        sink.set_enabled(false);
+        sink.record(ev(1, 1));
+        assert!(sink.drain().is_empty());
+        assert_eq!(sink.recorded(), 0);
+        assert_eq!(sink.histograms().section_length.count(), 0);
+    }
+
+    #[test]
+    fn overflow_counts_dropped_events() {
+        let sink = EventSink::with_capacity(TsUnit::WallNanos, 2);
+        for i in 0..10u64 {
+            sink.record(ev(i, 0)); // one shard
+        }
+        assert_eq!(sink.dropped(), 8);
+        assert_eq!(sink.drain().len(), 2);
+    }
+
+    #[test]
+    fn histograms_fold_through_record() {
+        let sink = EventSink::new(TsUnit::VirtualTicks);
+        sink.record(Event { ts: 5, thread: 1, monitor: 3, kind: EventKind::Acquire });
+        sink.record(Event { ts: 25, thread: 1, monitor: 3, kind: EventKind::Release });
+        assert_eq!(sink.histograms().section_length.count(), 1);
+        assert_eq!(sink.histograms().section_length.max(), 20);
+    }
+}

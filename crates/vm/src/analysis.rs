@@ -44,11 +44,7 @@ impl ElisionTable {
     /// Whether the store at `method`/`pc` may skip its barrier.
     #[inline]
     pub fn is_elided(&self, method: usize, pc: u32) -> bool {
-        self.table
-            .get(method)
-            .and_then(|m| m.get(pc as usize))
-            .copied()
-            .unwrap_or(false)
+        self.table.get(method).and_then(|m| m.get(pc as usize)).copied().unwrap_or(false)
     }
 }
 
@@ -280,16 +276,16 @@ mod tests {
         use Insn::*;
         // Hand-built: a jump from outside into the middle of the region.
         let code = vec![
-            Goto(5),                 // 0: jump INTO region interior
-            Load(0),                 // 1
-            MonitorEnter,            // 2: region enter
-            Const(Value::Int(1)),    // 3
-            PutStatic(0),            // 4
-            Const(Value::Int(2)),    // 5  <- jumped-to interior
-            PutStatic(1),            // 6
-            Load(0),                 // 7
-            MonitorExit,             // 8
-            RetVoid,                 // 9
+            Goto(5),              // 0: jump INTO region interior
+            Load(0),              // 1
+            MonitorEnter,         // 2: region enter
+            Const(Value::Int(1)), // 3
+            PutStatic(0),         // 4
+            Const(Value::Int(2)), // 5  <- jumped-to interior
+            PutStatic(1),         // 6
+            Load(0),              // 7
+            MonitorExit,          // 8
+            RetVoid,              // 9
         ];
         let p = Program {
             methods: vec![Method {

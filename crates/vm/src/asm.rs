@@ -83,10 +83,8 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     for (i, raw) in src.lines().enumerate() {
         let line = strip(raw);
         if let Some(rest) = line.strip_prefix(".method") {
-            let name = rest
-                .split_whitespace()
-                .next()
-                .ok_or_else(|| err(i + 1, ".method needs a name"))?;
+            let name =
+                rest.split_whitespace().next().ok_or_else(|| err(i + 1, ".method needs a name"))?;
             if names.contains_key(name) {
                 return Err(err(i + 1, format!("duplicate method `{name}`")));
             }
@@ -135,9 +133,7 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             m.handler_directive(rest, ln)?;
             continue;
         }
-        let m = cur
-            .as_mut()
-            .ok_or_else(|| err(ln, format!("code outside a method: `{line}`")))?;
+        let m = cur.as_mut().ok_or_else(|| err(ln, format!("code outside a method: `{line}`")))?;
         m.line(line, ln, &names)?;
     }
     if cur.is_some() {
@@ -263,7 +259,12 @@ impl MethodAsm {
         self.fixups.push((self.code.len() - 1, label.to_string(), ln));
     }
 
-    fn line(&mut self, line: &str, ln: usize, names: &HashMap<String, MethodId>) -> Result<(), AsmError> {
+    fn line(
+        &mut self,
+        line: &str,
+        ln: usize,
+        names: &HashMap<String, MethodId>,
+    ) -> Result<(), AsmError> {
         // label?
         if let Some(l) = line.strip_suffix(':') {
             let l = l.trim();
@@ -274,10 +275,7 @@ impl MethodAsm {
         }
         // sync block close?
         if line == "}" {
-            let (local, enter) = self
-                .sync_stack
-                .pop()
-                .ok_or_else(|| err(ln, "unmatched `}`"))?;
+            let (local, enter) = self.sync_stack.pop().ok_or_else(|| err(ln, "unmatched `}`"))?;
             self.emit(Insn::Load(local));
             self.emit(Insn::MonitorExit);
             self.sync_regions.push(SyncRegion { enter, exit: self.code.len() as u32 });
@@ -306,8 +304,14 @@ impl MethodAsm {
                 let v = if t == "null" { Value::Null } else { Value::Int(parse_num(t, ln)?) };
                 self.emit(Insn::Const(v));
             }
-            "load" => { let l = parse_local(arg(0)?, ln)?; self.emit(Insn::Load(l)); }
-            "store" => { let l = parse_local(arg(0)?, ln)?; self.emit(Insn::Store(l)); }
+            "load" => {
+                let l = parse_local(arg(0)?, ln)?;
+                self.emit(Insn::Load(l));
+            }
+            "store" => {
+                let l = parse_local(arg(0)?, ln)?;
+                self.emit(Insn::Store(l));
+            }
             "dup" => self.emit(Insn::Dup),
             "pop" => self.emit(Insn::Pop),
             "swap" => self.emit(Insn::Swap),
@@ -342,12 +346,24 @@ impl MethodAsm {
                 self.emit(Insn::New { class_tag, fields, volatile_mask });
             }
             "newarray" => self.emit(Insn::NewArray),
-            "getfield" => { let o = parse_num(arg(0)?, ln)? as u16; self.emit(Insn::GetField(o)); }
-            "putfield" => { let o = parse_num(arg(0)?, ln)? as u16; self.emit(Insn::PutField(o)); }
+            "getfield" => {
+                let o = parse_num(arg(0)?, ln)? as u16;
+                self.emit(Insn::GetField(o));
+            }
+            "putfield" => {
+                let o = parse_num(arg(0)?, ln)? as u16;
+                self.emit(Insn::PutField(o));
+            }
             "aload" => self.emit(Insn::ALoad),
             "astore" => self.emit(Insn::AStore),
-            "getstatic" => { let s = parse_static(arg(0)?, ln)?; self.emit(Insn::GetStatic(s)); }
-            "putstatic" => { let s = parse_static(arg(0)?, ln)?; self.emit(Insn::PutStatic(s)); }
+            "getstatic" => {
+                let s = parse_static(arg(0)?, ln)?;
+                self.emit(Insn::GetStatic(s));
+            }
+            "putstatic" => {
+                let s = parse_static(arg(0)?, ln)?;
+                self.emit(Insn::PutStatic(s));
+            }
             "arraylen" => self.emit(Insn::ArrayLen),
             "monitorenter" => self.emit(Insn::MonitorEnter),
             "monitorexit" => self.emit(Insn::MonitorExit),
@@ -356,9 +372,8 @@ impl MethodAsm {
             "notifyall" => self.emit(Insn::NotifyAll),
             "call" | "spawn" => {
                 let name = arg(0)?;
-                let id = *names
-                    .get(name)
-                    .ok_or_else(|| err(ln, format!("unknown method `{name}`")))?;
+                let id =
+                    *names.get(name).ok_or_else(|| err(ln, format!("unknown method `{name}`")))?;
                 self.emit(if op == "call" { Insn::Call(id) } else { Insn::Spawn(id) });
             }
             "join" => self.emit(Insn::Join),
@@ -412,7 +427,12 @@ impl MethodAsm {
                     .copied()
                     .ok_or_else(|| err(l, format!("undefined label `{lab}`")))
             };
-            handlers.push(Handler { start: lookup(&s)?, end: lookup(&e)?, target: lookup(&t)?, kind });
+            handlers.push(Handler {
+                start: lookup(&s)?,
+                end: lookup(&e)?,
+                target: lookup(&t)?,
+                kind,
+            });
         }
         Ok((
             self.name.clone(),

@@ -546,11 +546,7 @@ impl ProgramBuilder {
             .enumerate()
             .map(|(i, m)| m.unwrap_or_else(|| panic!("method {} has no body", self.names[i])))
             .collect();
-        Program {
-            methods,
-            n_statics: self.n_statics,
-            volatile_statics: self.volatile_statics,
-        }
+        Program { methods, n_statics: self.n_statics, volatile_statics: self.volatile_statics }
     }
 }
 
@@ -682,11 +678,7 @@ mod tests {
         pb.statics(2);
         let m = pb.declare_method("m", 1);
         let mut b = MethodBuilder::new(1, 1);
-        b.if_else(
-            |b| b.load(0),
-            |b| b.add_static(0, 1),
-            |b| b.add_static(1, 1),
-        );
+        b.if_else(|b| b.load(0), |b| b.add_static(0, 1), |b| b.add_static(1, 1));
         b.ret_void();
         pb.implement(m, b);
         let p = pb.finish();

@@ -305,10 +305,7 @@ impl Program {
 
     /// Find a method by name (diagnostics/tests).
     pub fn method_by_name(&self, name: &str) -> Option<MethodId> {
-        self.methods
-            .iter()
-            .position(|m| m.name == name)
-            .map(|i| MethodId(i as u32))
+        self.methods.iter().position(|m| m.name == name).map(|i| MethodId(i as u32))
     }
 
     /// Total instruction count across methods.

@@ -40,7 +40,8 @@ pub fn disassemble_method(m: &Method) -> String {
                 notes.push(format!("handler#{i} ({kind}) [{}..{})", h.start, h.end));
             }
         }
-        let note = if notes.is_empty() { String::new() } else { format!("   ; {}", notes.join(", ")) };
+        let note =
+            if notes.is_empty() { String::new() } else { format!("   ; {}", notes.join(", ")) };
         let _ = writeln!(out, "  {pc:>4}: {}{note}", render(insn));
     }
     out
@@ -84,7 +85,9 @@ fn render(i: &Insn) -> String {
         Insn::IfGe(t) => format!("if_ge        -> {t}"),
         Insn::IfEq(t) => format!("if_eq        -> {t}"),
         Insn::IfNe(t) => format!("if_ne        -> {t}"),
-        Insn::New { class_tag, fields, .. } => format!("new          class={class_tag} fields={fields}"),
+        Insn::New { class_tag, fields, .. } => {
+            format!("new          class={class_tag} fields={fields}")
+        }
         Insn::NewArray => "newarray".into(),
         Insn::GetField(o) => format!("getfield     +{o}"),
         Insn::PutField(o) => format!("putfield     +{o}   ; write-barrier site"),

@@ -109,10 +109,7 @@ impl Heap {
 
     /// Mark static slot `i` volatile.
     pub fn declare_static_volatile(&mut self, i: u32) -> Result<(), HeapError> {
-        let slot = self
-            .statics
-            .get_mut(i as usize)
-            .ok_or(HeapError::BadStatic(i))?;
+        let slot = self.statics.get_mut(i as usize).ok_or(HeapError::BadStatic(i))?;
         slot.volatile = true;
         Ok(())
     }
@@ -151,16 +148,11 @@ impl Heap {
         match loc {
             Location::Obj(r, off) => {
                 let o = self.object(r)?;
-                o.slots
-                    .get(off as usize)
-                    .copied()
-                    .ok_or(HeapError::BadOffset(r, off))
+                o.slots.get(off as usize).copied().ok_or(HeapError::BadOffset(r, off))
             }
-            Location::Static(s) => self
-                .statics
-                .get(s as usize)
-                .map(|sl| sl.value)
-                .ok_or(HeapError::BadStatic(s)),
+            Location::Static(s) => {
+                self.statics.get(s as usize).map(|sl| sl.value).ok_or(HeapError::BadStatic(s))
+            }
         }
     }
 
@@ -169,21 +161,12 @@ impl Heap {
     pub fn write(&mut self, loc: Location, v: Value) -> Result<Value, HeapError> {
         match loc {
             Location::Obj(r, off) => {
-                let o = self
-                    .objects
-                    .get_mut(r.index())
-                    .ok_or(HeapError::BadRef(r))?;
-                let slot = o
-                    .slots
-                    .get_mut(off as usize)
-                    .ok_or(HeapError::BadOffset(r, off))?;
+                let o = self.objects.get_mut(r.index()).ok_or(HeapError::BadRef(r))?;
+                let slot = o.slots.get_mut(off as usize).ok_or(HeapError::BadOffset(r, off))?;
                 Ok(std::mem::replace(slot, v))
             }
             Location::Static(s) => {
-                let slot = self
-                    .statics
-                    .get_mut(s as usize)
-                    .ok_or(HeapError::BadStatic(s))?;
+                let slot = self.statics.get_mut(s as usize).ok_or(HeapError::BadStatic(s))?;
                 Ok(std::mem::replace(&mut slot.value, v))
             }
         }
@@ -192,16 +175,12 @@ impl Heap {
     /// Whether `loc` is a volatile slot.
     pub fn is_volatile(&self, loc: Location) -> bool {
         match loc {
-            Location::Obj(r, off) => self
-                .objects
-                .get(r.index())
-                .map(|o| o.is_volatile(off))
-                .unwrap_or(false),
-            Location::Static(s) => self
-                .statics
-                .get(s as usize)
-                .map(|sl| sl.volatile)
-                .unwrap_or(false),
+            Location::Obj(r, off) => {
+                self.objects.get(r.index()).map(|o| o.is_volatile(off)).unwrap_or(false)
+            }
+            Location::Static(s) => {
+                self.statics.get(s as usize).map(|sl| sl.volatile).unwrap_or(false)
+            }
         }
     }
 
@@ -262,10 +241,7 @@ mod tests {
     fn out_of_bounds_detected() {
         let mut h = Heap::new(0);
         let a = h.alloc_array(2);
-        assert!(matches!(
-            h.read(Location::Obj(a, 2)),
-            Err(HeapError::BadOffset(_, 2))
-        ));
+        assert!(matches!(h.read(Location::Obj(a, 2)), Err(HeapError::BadOffset(_, 2))));
         assert!(matches!(
             h.write(Location::Obj(a, 9), Value::Int(1)),
             Err(HeapError::BadOffset(_, 9))
@@ -285,9 +261,6 @@ mod tests {
     #[test]
     fn dangling_ref_detected() {
         let h = Heap::new(0);
-        assert!(matches!(
-            h.read(Location::Obj(ObjRef(0), 0)),
-            Err(HeapError::BadRef(_))
-        ));
+        assert!(matches!(h.read(Location::Obj(ObjRef(0), 0)), Err(HeapError::BadRef(_))));
     }
 }

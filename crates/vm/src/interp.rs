@@ -379,9 +379,9 @@ impl Vm {
                 t.pending_snapshot = Some(snap);
                 cont
             }
-            Insn::RollbackHandler => Err(VmError::Internal(
-                "RollbackHandler reached by normal control flow",
-            )),
+            Insn::RollbackHandler => {
+                Err(VmError::Internal("RollbackHandler reached by normal control flow"))
+            }
         }
     }
 
@@ -403,8 +403,7 @@ impl Vm {
         if self.config.jmm_guard {
             self.charge(self.config.cost.barrier_fast);
             if let Some(w) = self.jmm.check_read(loc, tid) {
-                let flipped =
-                    self.threads[w.writer.index()].mark_nonrevocable_enclosing(w.log_pos);
+                let flipped = self.threads[w.writer.index()].mark_nonrevocable_enclosing(w.log_pos);
                 self.global.monitors_marked_nonrevocable += flipped;
                 if flipped > 0 {
                     let m = self.threads[w.writer.index()]
@@ -497,7 +496,11 @@ impl Vm {
     // --- exceptions ---------------------------------------------------------
 
     /// Allocate and throw a built-in exception (`NPE`, `OOB`, `ARITH`).
-    pub(crate) fn throw_builtin(&mut self, tid: ThreadId, tag: u32) -> Result<StepOutcome, VmError> {
+    pub(crate) fn throw_builtin(
+        &mut self,
+        tid: ThreadId,
+        tag: u32,
+    ) -> Result<StepOutcome, VmError> {
         let exc = self.heap.alloc(tag, 0);
         self.throw_user(tid, exc)
     }
@@ -508,7 +511,11 @@ impl Vm {
     /// regions being exited are released (as javac's synthetic handlers
     /// would), with their updates kept — an exceptional exit is a normal
     /// exit as far as the log is concerned.
-    pub(crate) fn throw_user(&mut self, tid: ThreadId, exc: ObjRef) -> Result<StepOutcome, VmError> {
+    pub(crate) fn throw_user(
+        &mut self,
+        tid: ThreadId,
+        exc: ObjRef,
+    ) -> Result<StepOutcome, VmError> {
         let class_tag = self.heap.object(exc)?.class_tag;
         loop {
             let depth = self.thread(tid).frames.len() - 1;
@@ -516,9 +523,8 @@ impl Vm {
                 let f = self.thread(tid).frame();
                 (f.method, f.pc.saturating_sub(1))
             };
-            let handler = self.program.methods[mid.index()]
-                .find_handler(throw_pc, Some(class_tag))
-                .copied();
+            let handler =
+                self.program.methods[mid.index()].find_handler(throw_pc, Some(class_tag)).copied();
             if let Some(h) = handler {
                 // Release sections of this frame whose region does not
                 // cover the handler.
@@ -566,13 +572,7 @@ impl Vm {
 
     fn do_return(&mut self, tid: ThreadId, v: Option<Value>) -> Result<StepOutcome, VmError> {
         let depth = self.thread(tid).frames.len() - 1;
-        if self
-            .thread(tid)
-            .sections
-            .last()
-            .map(|s| s.frame_depth >= depth)
-            .unwrap_or(false)
-        {
+        if self.thread(tid).sections.last().map(|s| s.frame_depth >= depth).unwrap_or(false) {
             return Err(VmError::IllegalMonitorState("return with an open synchronized section"));
         }
         self.thread_mut(tid).frames.pop();

@@ -73,15 +73,15 @@
 pub mod analysis;
 pub mod asm;
 pub mod builder;
-pub mod disasm;
 pub mod bytecode;
+pub mod disasm;
 pub mod error;
 pub mod heap;
 pub mod interp;
 pub mod jmm;
 pub mod monitor;
-pub mod rewrite;
 mod revoke;
+pub mod rewrite;
 mod sync;
 pub mod thread;
 pub mod trace;

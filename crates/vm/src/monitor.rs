@@ -7,7 +7,7 @@
 //! object"), so contenders can detect inversion with one comparison.
 
 use crate::value::ObjRef;
-use revmon_core::{Priority, PrioritizedQueue, QueueDiscipline, ThreadId};
+use revmon_core::{PrioritizedQueue, Priority, QueueDiscipline, ThreadId};
 use std::collections::HashMap;
 
 /// Runtime state of one monitor.

@@ -139,26 +139,23 @@ impl Vm {
             });
             self.threads[tid.index()].undo = log;
         }
+        let t0 = self.clock;
         self.charge(self.config.cost.rollback(entries as usize));
         {
             let m = self.thread(tid).sections[idx].monitor;
-            self.emit_trace(TraceEvent::Rollback { thread: tid, monitor: m, entries });
+            let duration = self.clock - t0;
+            self.emit_trace_dur(
+                TraceEvent::Rollback { thread: tid, monitor: m, entries },
+                duration,
+            );
         }
 
         // 2. Release monitors innermost-first, as the propagating rollback
         //    exception's handlers would.
-        let after_wait = self
-            .thread(tid)
-            .sections[idx]
-            .snapshot
-            .as_ref()
-            .map(|s| s.after_wait)
-            .unwrap_or(false);
-        let to_release: Vec<ObjRef> = self.thread(tid).sections[idx..]
-            .iter()
-            .rev()
-            .map(|s| s.monitor)
-            .collect();
+        let after_wait =
+            self.thread(tid).sections[idx].snapshot.as_ref().map(|s| s.after_wait).unwrap_or(false);
+        let to_release: Vec<ObjRef> =
+            self.thread(tid).sections[idx..].iter().rev().map(|s| s.monitor).collect();
         for m in to_release {
             self.release_one_level(tid, m)?;
         }
@@ -191,12 +188,8 @@ impl Vm {
                 // back immediately and continue.
                 self.thread_mut(tid).state = ThreadState::BlockedReacquire(target.monitor);
                 self.monitors.get_mut(target.monitor).queue.push(tid, eff);
-                let granted = self
-                    .monitors
-                    .get_mut(target.monitor)
-                    .queue
-                    .pop()
-                    .expect("just pushed");
+                let granted =
+                    self.monitors.get_mut(target.monitor).queue.pop().expect("just pushed");
                 self.grant(granted, target.monitor)?;
                 // grant() made the thread Ready; if it was running it keeps
                 // its dispatch only via the run queue now.
@@ -204,8 +197,7 @@ impl Vm {
                 self.thread_mut(tid).state = ThreadState::BlockedReacquire(target.monitor);
                 self.monitors.get_mut(target.monitor).queue.push(tid, eff);
                 if let Some(owner) = self.monitors.get(target.monitor).and_then(|m| m.owner) {
-                    self.graph
-                        .add_wait(tid, revmon_core::MonitorId(target.monitor.0), owner);
+                    self.graph.add_wait(tid, revmon_core::MonitorId(target.monitor.0), owner);
                 }
             }
         } else {

@@ -51,7 +51,8 @@ pub fn rewrite_program(p: &Program) -> Program {
             inner.name = format!("{}$sync", inner.name);
             let inner_id = MethodId(methods.len() as u32);
             let returns_value = inner.code.iter().any(|x| matches!(x, Insn::Ret));
-            let wrapper = make_wrapper(&methods[i].name, methods[i].params, inner_id, returns_value);
+            let wrapper =
+                make_wrapper(&methods[i].name, methods[i].params, inner_id, returns_value);
             methods.push(inner);
             methods[i] = wrapper;
         }
@@ -59,21 +60,13 @@ pub fn rewrite_program(p: &Program) -> Program {
 
     // Pass 2: inject rollback scopes into every method with sync regions.
     for m in &mut methods {
-        assert!(
-            m.rollback_scopes.is_empty(),
-            "method {} already rewritten",
-            m.name
-        );
+        assert!(m.rollback_scopes.is_empty(), "method {} already rewritten", m.name);
         if !m.sync_regions.is_empty() {
             inject_rollback_scopes(m);
         }
     }
 
-    Program {
-        methods,
-        n_statics: p.n_statics,
-        volatile_statics: p.volatile_statics.clone(),
-    }
+    Program { methods, n_statics: p.n_statics, volatile_statics: p.volatile_statics.clone() }
 }
 
 /// Build the non-synchronized wrapper for a synchronized method.

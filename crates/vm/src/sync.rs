@@ -17,8 +17,8 @@ use crate::thread::{Section, Snapshot, ThreadState};
 use crate::trace::TraceEvent;
 use crate::value::{ObjRef, Value};
 use crate::vm::Vm;
-use revmon_core::{InversionPolicy, MonitorId, Priority};
 use revmon_core::ThreadId;
+use revmon_core::{InversionPolicy, MonitorId, Priority};
 
 impl Vm {
     /// `monitorenter` on `obj` by `tid`. Returns whether the monitor was
@@ -136,7 +136,11 @@ impl Vm {
     /// Pop the innermost section (must be on `obj`), commit the undo log
     /// if it was the outermost, and release one recursion level. Shared
     /// by `MonitorExit` and user-exception unwinding.
-    pub(crate) fn exit_section_common(&mut self, tid: ThreadId, obj: ObjRef) -> Result<(), VmError> {
+    pub(crate) fn exit_section_common(
+        &mut self,
+        tid: ThreadId,
+        obj: ObjRef,
+    ) -> Result<(), VmError> {
         let Some(top) = self.thread(tid).sections.last() else {
             return Err(VmError::IllegalMonitorState("monitorexit without an active section"));
         };
@@ -213,11 +217,8 @@ impl Vm {
         self.apply_ceiling(next);
         // Refresh waits-for edges of the remaining waiters: they now wait
         // on the new owner.
-        let waiters: Vec<ThreadId> = self
-            .monitors
-            .get(obj)
-            .map(|m| m.queue.iter().copied().collect())
-            .unwrap_or_default();
+        let waiters: Vec<ThreadId> =
+            self.monitors.get(obj).map(|m| m.queue.iter().copied().collect()).unwrap_or_default();
         for w in waiters {
             self.graph.add_wait(w, MonitorId(obj.0), next);
         }
@@ -259,10 +260,7 @@ impl Vm {
             let t = self.thread(tid);
             t.sections.len() > 1
                 || t.sections.first().map(|s| s.monitor != obj).unwrap_or(true)
-                || t.sections
-                    .first()
-                    .map(|s| s.frame_depth != t.frames.len() - 1)
-                    .unwrap_or(true)
+                || t.sections.first().map(|s| s.frame_depth != t.frames.len() - 1).unwrap_or(true)
         };
         if nested {
             let flipped = self.thread_mut(tid).mark_all_nonrevocable();
@@ -299,8 +297,7 @@ impl Vm {
             let sec = &mut t.sections[0];
             sec.mark = new_mark;
             if sec.snapshot.is_some() {
-                sec.snapshot =
-                    Some(Snapshot { locals, stack, resume_pc, after_wait: true });
+                sec.snapshot = Some(Snapshot { locals, stack, resume_pc, after_wait: true });
             }
         }
         // Fully release and park.
@@ -319,7 +316,12 @@ impl Vm {
     /// `Object.notify()` / `notifyAll()`. Rolled-back notifications need
     /// no compensation: Java permits spurious wake-ups (§2.2), so a
     /// wake-up whose `notify` was revoked is simply spurious.
-    pub(crate) fn do_notify(&mut self, tid: ThreadId, obj: ObjRef, all: bool) -> Result<(), VmError> {
+    pub(crate) fn do_notify(
+        &mut self,
+        tid: ThreadId,
+        obj: ObjRef,
+        all: bool,
+    ) -> Result<(), VmError> {
         if !self.monitors.get(obj).map(|m| m.owned_by(tid)).unwrap_or(false) {
             return Err(VmError::IllegalMonitorState("notify on an unowned monitor"));
         }
@@ -369,10 +371,9 @@ impl Vm {
                     }
                 }
             }
-            InversionPolicy::PriorityCeiling(c)
-                if !held.is_empty() => {
-                    eff = eff.max_of(c);
-                }
+            InversionPolicy::PriorityCeiling(c) if !held.is_empty() => {
+                eff = eff.max_of(c);
+            }
             _ => {}
         }
         self.thread_mut(tid).effective_priority = eff;

@@ -255,14 +255,7 @@ mod tests {
     use super::*;
 
     fn thread() -> VmThread {
-        VmThread::new(
-            ThreadId(0),
-            "t".into(),
-            Priority::LOW,
-            MethodId(0),
-            3,
-            vec![Value::Int(7)],
-        )
+        VmThread::new(ThreadId(0), "t".into(), Priority::LOW, MethodId(0), 3, vec![Value::Int(7)])
     }
 
     #[test]
@@ -304,7 +297,7 @@ mod tests {
             frame_depth: 0,
             snapshot: None,
             revocable: true,
-                region: None,
+            region: None,
         });
         t.undo.push(UndoEntry { loc: Location::Static(1), old: Value::Null });
         let inner_mark = t.undo.mark(); // pos 2
@@ -315,7 +308,7 @@ mod tests {
             frame_depth: 0,
             snapshot: None,
             revocable: true,
-                region: None,
+            region: None,
         });
         // A write at log position 1 is enclosed only by the outer section.
         let flipped = t.mark_nonrevocable_enclosing(1);
@@ -351,15 +344,11 @@ mod tests {
             frame_depth: 0,
             snapshot: None,
             revocable: true,
-                region: None,
+            region: None,
         };
         assert!(!s.can_revoke());
-        s.snapshot = Some(Snapshot {
-            locals: vec![],
-            stack: vec![],
-            resume_pc: 0,
-            after_wait: false,
-        });
+        s.snapshot =
+            Some(Snapshot { locals: vec![], stack: vec![], resume_pc: 0, after_wait: false });
         assert!(s.can_revoke());
         s.revocable = false;
         assert!(!s.can_revoke());

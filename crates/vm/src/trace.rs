@@ -84,6 +84,54 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// Lower this VM event into the runtime-agnostic `revmon-obs` model,
+    /// stamped with virtual-clock tick `at`. The obs `thread` is the
+    /// event's primary actor (the flagged holder for revoke requests,
+    /// the victim for deadlock breaking), matching the locks runtime's
+    /// attribution so exporters treat both streams identically.
+    pub(crate) fn to_obs(self, at: u64) -> revmon_obs::Event {
+        use revmon_obs::{Event, EventKind};
+        let (thread, monitor, kind) = match self {
+            TraceEvent::Acquire { thread, monitor } => {
+                (thread.0 as u64, monitor.0 as u64, EventKind::Acquire)
+            }
+            TraceEvent::Block { thread, monitor } => {
+                (thread.0 as u64, monitor.0 as u64, EventKind::Block)
+            }
+            TraceEvent::RevokeRequest { by, holder, monitor } => {
+                (holder.0 as u64, monitor.0 as u64, EventKind::RevokeRequest { by: by.0 as u64 })
+            }
+            TraceEvent::Rollback { thread, monitor, entries } => {
+                (thread.0 as u64, monitor.0 as u64, EventKind::Rollback { entries, duration: 0 })
+            }
+            TraceEvent::Commit { thread, monitor } => {
+                (thread.0 as u64, monitor.0 as u64, EventKind::Commit)
+            }
+            TraceEvent::Release { thread, monitor } => {
+                (thread.0 as u64, monitor.0 as u64, EventKind::Release)
+            }
+            TraceEvent::NonRevocable { thread, monitor } => {
+                (thread.0 as u64, monitor.0 as u64, EventKind::NonRevocable)
+            }
+            TraceEvent::DeadlockDetected { cycle_len } => (
+                Event::NO_THREAD,
+                Event::NO_MONITOR,
+                EventKind::DeadlockDetected { cycle_len: cycle_len as u64 },
+            ),
+            TraceEvent::DeadlockBroken { victim } => {
+                (victim.0 as u64, Event::NO_MONITOR, EventKind::DeadlockBroken)
+            }
+            TraceEvent::InversionUnresolved { by, holder, monitor } => (
+                holder.0 as u64,
+                monitor.0 as u64,
+                EventKind::InversionUnresolved { by: by.0 as u64 },
+            ),
+        };
+        Event { ts: at, thread, monitor, kind }
+    }
+}
+
 /// A timestamped trace record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceRecord {

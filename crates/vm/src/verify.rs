@@ -186,12 +186,7 @@ fn effect(i: Insn) -> (u16, u16, bool) {
     }
 }
 
-fn verify_method(
-    p: &Program,
-    m: &Method,
-    arities: &[u16],
-    errors: &mut Vec<VerifyError>,
-) {
+fn verify_method(p: &Program, m: &Method, arities: &[u16], errors: &mut Vec<VerifyError>) {
     let n = m.code.len() as u32;
     let name = || m.name.clone();
 
@@ -230,26 +225,25 @@ fn verify_method(
         }
     }
 
-    let push_succ =
-        |work: &mut Vec<(u32, u16)>, height: &mut Vec<Option<u16>>, pc: u32, h: u16| {
-            if pc >= n {
-                return Some(VerifyError::FallsOffEnd { method: m.name.clone(), pc });
+    let push_succ = |work: &mut Vec<(u32, u16)>, height: &mut Vec<Option<u16>>, pc: u32, h: u16| {
+        if pc >= n {
+            return Some(VerifyError::FallsOffEnd { method: m.name.clone(), pc });
+        }
+        match height[pc as usize] {
+            None => {
+                height[pc as usize] = Some(h);
+                work.push((pc, h));
+                None
             }
-            match height[pc as usize] {
-                None => {
-                    height[pc as usize] = Some(h);
-                    work.push((pc, h));
-                    None
-                }
-                Some(prev) if prev == h => None,
-                Some(prev) => Some(VerifyError::HeightMismatch {
-                    method: m.name.clone(),
-                    pc,
-                    expected: prev,
-                    found: h,
-                }),
-            }
-        };
+            Some(prev) if prev == h => None,
+            Some(prev) => Some(VerifyError::HeightMismatch {
+                method: m.name.clone(),
+                pc,
+                expected: prev,
+                found: h,
+            }),
+        }
+    };
 
     // Seed entry heights.
     let mut seeded = std::mem::take(&mut work);

@@ -217,8 +217,7 @@ impl RunReport {
     /// to the latest end across threads with base priority ≥ `cut`
     /// (§4.1's total elapsed time of high-priority threads).
     pub fn elapsed_for(&self, cut: Priority) -> u64 {
-        let sel: Vec<&ThreadReport> =
-            self.threads.iter().filter(|t| t.priority >= cut).collect();
+        let sel: Vec<&ThreadReport> = self.threads.iter().filter(|t| t.priority >= cut).collect();
         let start = sel.iter().map(|t| t.start_time).min().unwrap_or(0);
         let end = sel.iter().map(|t| t.end_time).max().unwrap_or(0);
         end.saturating_sub(start)
@@ -293,6 +292,9 @@ pub struct Vm {
     pub(crate) steps: u64,
     pub(crate) next_background_scan: u64,
     pub(crate) trace: Vec<TraceRecord>,
+    /// Optional observability sink; trace events are forwarded into it
+    /// (virtual-clock timestamps) independently of `config.trace`.
+    pub(crate) sink: Option<std::sync::Arc<revmon_obs::EventSink>>,
     /// Static write-barrier elision table (when `elide_barriers`).
     pub(crate) elision: Option<crate::analysis::ElisionTable>,
     /// Threads blocked in `Join`, keyed by the thread they wait for.
@@ -359,6 +361,7 @@ impl Vm {
             steps: 0,
             next_background_scan: bg,
             trace: Vec::new(),
+            sink: None,
             elision,
             join_waiters: std::collections::HashMap::new(),
         }
@@ -408,6 +411,38 @@ impl Vm {
         if self.config.trace {
             self.trace.push(TraceRecord { at: self.clock, event });
         }
+        if let Some(sink) = &self.sink {
+            sink.record(event.to_obs(self.clock));
+        }
+    }
+
+    /// Like [`Vm::emit_trace`] but also carries the event's duration into
+    /// the obs stream (rollbacks: how many virtual ticks the restore
+    /// charged). The public [`TraceEvent`] stays duration-free.
+    pub(crate) fn emit_trace_dur(&mut self, event: TraceEvent, duration: u64) {
+        if self.config.trace {
+            self.trace.push(TraceRecord { at: self.clock, event });
+        }
+        if let Some(sink) = &self.sink {
+            let mut ev = event.to_obs(self.clock);
+            if let revmon_obs::EventKind::Rollback { duration: d, .. } = &mut ev.kind {
+                *d = duration;
+            }
+            sink.record(ev);
+        }
+    }
+
+    /// Attach an observability sink. Every monitor event the VM produces
+    /// is forwarded to it as a [`revmon_obs::Event`] stamped with the
+    /// virtual clock — use [`revmon_obs::TsUnit::VirtualTicks`] when
+    /// constructing the sink. Works independently of `config.trace`.
+    pub fn attach_sink(&mut self, sink: std::sync::Arc<revmon_obs::EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the sink, if one was attached.
+    pub fn detach_sink(&mut self) -> Option<std::sync::Arc<revmon_obs::EventSink>> {
+        self.sink.take()
     }
 
     /// Consume the recorded trace.
@@ -461,12 +496,8 @@ impl Vm {
                 if self.threads.iter().all(|t| t.is_terminated()) {
                     break;
                 }
-                let blocked: Vec<ThreadId> = self
-                    .threads
-                    .iter()
-                    .filter(|t| !t.is_terminated())
-                    .map(|t| t.id)
-                    .collect();
+                let blocked: Vec<ThreadId> =
+                    self.threads.iter().filter(|t| !t.is_terminated()).map(|t| t.id).collect();
                 return Err(VmError::Stalled(blocked));
             };
             self.dispatch(tid)?;

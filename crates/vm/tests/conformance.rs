@@ -17,12 +17,10 @@ fn configs() -> Vec<(String, VmConfig)> {
     for (vm_name, base) in
         [("unmodified", VmConfig::unmodified()), ("modified", VmConfig::modified())]
     {
-        for (sched_name, sched) in [
-            ("rr", SchedulerKind::RoundRobin),
-            ("prio", SchedulerKind::PriorityPreemptive),
-        ] {
-            for (q_name, q) in
-                [("pq", QueueDiscipline::Priority), ("fifo", QueueDiscipline::Fifo)]
+        for (sched_name, sched) in
+            [("rr", SchedulerKind::RoundRobin), ("prio", SchedulerKind::PriorityPreemptive)]
+        {
+            for (q_name, q) in [("pq", QueueDiscipline::Priority), ("fifo", QueueDiscipline::Fifo)]
             {
                 let mut c = base;
                 c.scheduler = sched;

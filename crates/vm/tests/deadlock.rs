@@ -59,9 +59,7 @@ fn two_thread_deadlock_is_broken_under_revocation() {
     assert!(report.global.rollbacks >= 1);
     assert_eq!(vm.read_static(0).unwrap(), Value::Int(2), "both inner sections ran");
     let trace = vm.take_trace();
-    assert!(trace
-        .iter()
-        .any(|r| matches!(r.event, revmon_vm::TraceEvent::DeadlockBroken { .. })));
+    assert!(trace.iter().any(|r| matches!(r.event, revmon_vm::TraceEvent::DeadlockBroken { .. })));
 }
 
 #[test]

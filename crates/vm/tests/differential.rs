@@ -95,7 +95,13 @@ fn thread_body() -> impl Strategy<Value = Vec<Stmt>> {
 /// Compile one thread's statements. Locals: 0..LOCKS = lock refs,
 /// LOCKS = array ref, LOCKS+1 = loop counter.
 /// `in_lock`: the innermost held lock (for shared targets), or None.
-fn emit_ops(b: &mut MethodBuilder, ops: &[Op], in_lock: Option<u8>, tid: usize, helper: revmon_vm::bytecode::MethodId) {
+fn emit_ops(
+    b: &mut MethodBuilder,
+    ops: &[Op],
+    in_lock: Option<u8>,
+    tid: usize,
+    helper: revmon_vm::bytecode::MethodId,
+) {
     let arr_local = LOCKS as u16;
     for op in ops {
         match op {
@@ -253,8 +259,7 @@ fn run_config(bodies: &[Vec<Stmt>], cfg: VmConfig) -> (Expected, u64) {
         methods.push(id);
     }
     let mut vm = Vm::new(pb.finish(), cfg);
-    let locks: Vec<Value> =
-        (0..LOCKS).map(|_| Value::Ref(vm.heap_mut().alloc(0, 0))).collect();
+    let locks: Vec<Value> = (0..LOCKS).map(|_| Value::Ref(vm.heap_mut().alloc(0, 0))).collect();
     let arr = vm.heap_mut().alloc_array(LOCKS as u32 * 8);
     for (tid, &m) in methods.iter().enumerate() {
         let mut args = locks.clone();
@@ -263,12 +268,13 @@ fn run_config(bodies: &[Vec<Stmt>], cfg: VmConfig) -> (Expected, u64) {
         vm.spawn(&format!("t{tid}"), m, args, prio);
     }
     let report = vm.run().expect("generated program runs");
-    let statics =
-        (0..n_statics).map(|s| match vm.read_static(s).unwrap() {
+    let statics = (0..n_statics)
+        .map(|s| match vm.read_static(s).unwrap() {
             Value::Int(i) => i,
             Value::Null => 0,
             v => panic!("{v:?}"),
-        }).collect();
+        })
+        .collect();
     let array = (0..LOCKS as u32 * 8)
         .map(|i| match vm.heap().read(revmon_vm::heap::Location::Obj(arr, i)).unwrap() {
             Value::Int(v) => v,

@@ -245,12 +245,7 @@ fn figure4_semantic_dependency_terminates() {
     let mut vm = Vm::new(pb.finish(), VmConfig::modified());
     let outer = vm.heap_mut().alloc(0, 0);
     let inner = vm.heap_mut().alloc(0, 0);
-    vm.spawn(
-        "T",
-        t,
-        vec![Value::Ref(outer), Value::Ref(inner), Value::Int(30_000)],
-        Priority::LOW,
-    );
+    vm.spawn("T", t, vec![Value::Ref(outer), Value::Ref(inner), Value::Int(30_000)], Priority::LOW);
     vm.spawn("T'", tprime, vec![Value::Ref(inner)], Priority::LOW);
     let report = vm.run().expect("terminates — T' saw v");
     assert!(report.global.monitors_marked_nonrevocable >= 1);
@@ -336,18 +331,10 @@ fn nested_wait_forces_nonrevocability() {
     let mut vm = Vm::new(pb.finish(), VmConfig::modified());
     let outer = vm.heap_mut().alloc(0, 0);
     let inner = vm.heap_mut().alloc(0, 0);
-    vm.spawn(
-        "waiter",
-        waiter,
-        vec![Value::Ref(outer), Value::Ref(inner)],
-        Priority::LOW,
-    );
+    vm.spawn("waiter", waiter, vec![Value::Ref(outer), Value::Ref(inner)], Priority::LOW);
     vm.spawn("notifier", notifier, vec![Value::Ref(inner)], Priority::NORM);
     let report = vm.run().expect("run");
-    assert!(
-        report.global.monitors_marked_nonrevocable >= 2,
-        "both enclosing sections flagged"
-    );
+    assert!(report.global.monitors_marked_nonrevocable >= 2, "both enclosing sections flagged");
 }
 
 /// Sticky mode: once flagged, the monitor stays non-revocable for future
@@ -455,12 +442,7 @@ fn volatile_object_field_blocks_revocation() {
     let mut vm = Vm::new(pb.finish(), VmConfig::modified());
     let lock = vm.heap_mut().alloc(0, 0);
     let obj = vm.heap_mut().alloc_with_volatile(0, 1, 0b1); // field 0 volatile
-    vm.spawn(
-        "T",
-        writer,
-        vec![Value::Ref(lock), Value::Ref(obj), Value::Int(0)],
-        Priority::LOW,
-    );
+    vm.spawn("T", writer, vec![Value::Ref(lock), Value::Ref(obj), Value::Int(0)], Priority::LOW);
     vm.spawn("T'", reader, vec![Value::Ref(obj)], Priority::LOW);
     vm.spawn("Th", contender, vec![Value::Ref(lock)], Priority::HIGH);
     let report = vm.run().expect("run terminates");

@@ -188,11 +188,7 @@ fn all_policies_preserve_atomicity() {
             );
         }
         vm.run().expect("run");
-        assert_eq!(
-            vm.read_static(0).unwrap(),
-            Value::Int(8_000),
-            "policy {policy:?} lost updates"
-        );
+        assert_eq!(vm.read_static(0).unwrap(), Value::Int(8_000), "policy {policy:?} lost updates");
     }
 }
 

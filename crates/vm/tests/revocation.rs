@@ -42,7 +42,9 @@ fn figure1_low_priority_holder_is_revoked() {
     let th = revmon_core::ThreadId(1);
     let tl_acquire = pos(&|e| matches!(e, TraceEvent::Acquire { thread, .. } if *thread == tl));
     let th_block = pos(&|e| matches!(e, TraceEvent::Block { thread, .. } if *thread == th));
-    let revoke = pos(&|e| matches!(e, TraceEvent::RevokeRequest { by, holder, .. } if *by == th && *holder == tl));
+    let revoke = pos(
+        &|e| matches!(e, TraceEvent::RevokeRequest { by, holder, .. } if *by == th && *holder == tl),
+    );
     let rollback = pos(&|e| matches!(e, TraceEvent::Rollback { thread, .. } if *thread == tl));
     let th_acquire = pos(&|e| matches!(e, TraceEvent::Acquire { thread, .. } if *thread == th));
     let tl_commit = pos(&|e| matches!(e, TraceEvent::Commit { thread, .. } if *thread == tl));
@@ -83,10 +85,7 @@ fn high_priority_threads_finish_faster_on_modified_vm() {
     let (_, unmodified) = run_contenders(VmConfig::unmodified(), 4, LONG, 2, SHORT);
     let m = modified.elapsed_for(Priority::HIGH);
     let u = unmodified.elapsed_for(Priority::HIGH);
-    assert!(
-        m < u,
-        "modified VM should help high-priority threads: modified={m} unmodified={u}"
-    );
+    assert!(m < u, "modified VM should help high-priority threads: modified={m} unmodified={u}");
 }
 
 #[test]
@@ -150,10 +149,7 @@ fn background_detection_also_triggers_revocation() {
     cfg.detection = revmon_core::DetectionStrategy::Background { period: 5_000 };
     let (vm, report) = run_contenders(cfg, 2, LONG, 1, SHORT);
     assert_eq!(vm.read_static(0).unwrap(), Value::Int(2 * LONG + SHORT));
-    assert!(
-        report.global.rollbacks >= 1,
-        "background scanner should find the inversion"
-    );
+    assert!(report.global.rollbacks >= 1, "background scanner should find the inversion");
 }
 
 #[test]

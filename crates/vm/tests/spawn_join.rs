@@ -9,7 +9,10 @@ use revmon_vm::{Vm, VmConfig, VmError};
 /// main: allocates the lock, spawns `n` workers (each increments static 0
 /// `iters` times under the lock), joins them all, then checks the total
 /// into static 1.
-fn fork_join_program(n: i64, iters: i64) -> (revmon_vm::bytecode::Program, revmon_vm::bytecode::MethodId) {
+fn fork_join_program(
+    n: i64,
+    iters: i64,
+) -> (revmon_vm::bytecode::Program, revmon_vm::bytecode::MethodId) {
     let mut pb = ProgramBuilder::new();
     pb.statics(2);
     let worker = pb.declare_method("worker", 1);

@@ -101,7 +101,10 @@ fn main() {
     );
     let _ = m;
 
-    println!("{:<22} {:>14} {:>14} {:>12} {:>10}", "configuration", "virtual time", "barriers run", "elided", "rollbacks");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12} {:>10}",
+        "configuration", "virtual time", "barriers run", "elided", "rollbacks"
+    );
     let (t_full, b_full, e_full, r_full) = run(false);
     println!("{:<22} {:>14} {:>14} {:>12} {:>10}", "all barriers", t_full, b_full, e_full, r_full);
     let (t_el, b_el, e_el, r_el) = run(true);

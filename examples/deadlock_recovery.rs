@@ -48,10 +48,9 @@ fn vm_demo() {
     pb.implement(run, b);
     let program = pb.finish();
 
-    for (name, cfg) in [
-        ("blocking VM", VmConfig::unmodified()),
-        ("revocable VM", VmConfig::modified()),
-    ] {
+    for (name, cfg) in
+        [("blocking VM", VmConfig::unmodified()), ("revocable VM", VmConfig::modified())]
+    {
         let mut vm = Vm::new(program.clone(), cfg);
         let left = vm.heap_mut().alloc(0, 0);
         let right = vm.heap_mut().alloc(0, 0);

@@ -84,8 +84,7 @@ fn figure2() {
     );
     println!(
         "  Th's inversion went unresolved: {} (T was never rolled back: rollbacks = {})",
-        report.global.inversions_unresolved,
-        report.threads[0].metrics.rollbacks
+        report.global.inversions_unresolved, report.threads[0].metrics.rollbacks
     );
 }
 

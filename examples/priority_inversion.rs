@@ -74,10 +74,16 @@ fn main() {
                 format!("T{} blocks on {} (held by a lower-priority thread)", thread.0, monitor)
             }
             TraceEvent::RevokeRequest { by, holder, monitor } => {
-                format!("T{} flags T{} for revocation of its section on {}", by.0, holder.0, monitor)
+                format!(
+                    "T{} flags T{} for revocation of its section on {}",
+                    by.0, holder.0, monitor
+                )
             }
             TraceEvent::Rollback { thread, monitor, entries } => {
-                format!("T{} rolls back {} logged updates, reverting {}'s state", thread.0, entries, monitor)
+                format!(
+                    "T{} rolls back {} logged updates, reverting {}'s state",
+                    thread.0, entries, monitor
+                )
             }
             TraceEvent::Commit { thread, monitor } => {
                 format!("T{} commits its section on {}", thread.0, monitor)

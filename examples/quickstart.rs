@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use revmon::locks::{RevocableMonitor, TCell};
 use revmon::core::Priority;
+use revmon::locks::{RevocableMonitor, TCell};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -66,14 +66,21 @@ fn main() {
     }
 
     let st = ledger.stats();
-    println!("final balances : checking={} savings={}",
-        checking.read_unsynchronized(), savings.read_unsynchronized());
+    println!(
+        "final balances : checking={} savings={}",
+        checking.read_unsynchronized(),
+        savings.read_unsynchronized()
+    );
     println!("auditor worst-case monitor latency: {worst:?}");
     println!(
         "monitor stats  : {} acquires, {} contended, {} revocations requested, \
          {} rollbacks ({} entries restored), {} commits",
-        st.acquires, st.contended, st.revocations_requested, st.rollbacks,
-        st.entries_rolled_back, st.commits
+        st.acquires,
+        st.contended,
+        st.revocations_requested,
+        st.rollbacks,
+        st.entries_rolled_back,
+        st.commits
     );
     assert_eq!(checking.read_unsynchronized() + savings.read_unsynchronized(), 6_000);
     println!("invariant held through every revocation ✓");

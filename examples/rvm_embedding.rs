@@ -66,11 +66,7 @@ const PROGRAM: &str = r#"
 
 fn main() {
     let program = assemble(PROGRAM).expect("assembly parses");
-    println!(
-        "loaded {} methods, {} statics\n",
-        program.methods.len(),
-        program.n_statics
-    );
+    println!("loaded {} methods, {} statics\n", program.methods.len(), program.n_statics);
 
     println!(
         "{:<34} {:>12} {:>12} {:>10} {:>12}",

@@ -106,10 +106,9 @@ fn main() {
         "{:<28} {:>14} {:>14} {:>11} {:>9}",
         "policy", "avg alarm", "worst alarm", "rollbacks", "commits"
     );
-    for (name, policy) in [
-        ("blocking", InversionPolicy::Blocking),
-        ("revocation", InversionPolicy::Revocation),
-    ] {
+    for (name, policy) in
+        [("blocking", InversionPolicy::Blocking), ("revocation", InversionPolicy::Revocation)]
+    {
         let (st, ms) = run_pipeline(policy);
         let avg = if st.alarms > 0 { st.total / st.alarms } else { Duration::ZERO };
         println!(

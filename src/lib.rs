@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the revmon workspace.
 pub use revmon_core as core;
 pub use revmon_locks as locks;
+pub use revmon_obs as obs;
 pub use revmon_vm as vm;

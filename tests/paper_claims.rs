@@ -39,10 +39,7 @@ fn high_priority_threads_gain_under_revocation() {
     let (m, _, _) = run_cell_avg(&params(true, &scale, 2, 8), 3);
     let (u, _, _) = run_cell_avg(&params(false, &scale, 2, 8), 3);
     let gain = u.high_elapsed as f64 / m.high_elapsed as f64;
-    assert!(
-        gain > 1.15,
-        "expected a clear high-priority win for 2+8, got {gain:.2}x"
-    );
+    assert!(gain > 1.15, "expected a clear high-priority win for 2+8, got {gain:.2}x");
 }
 
 /// §4.2: "the overall elapsed time for the modified VM must always be
@@ -67,10 +64,7 @@ fn benefit_diminishes_with_more_high_priority_threads() {
     };
     let g28 = gain(2, 8);
     let g82 = gain(8, 2);
-    assert!(
-        g28 > g82,
-        "2+8 gain ({g28:.2}x) must exceed 8+2 gain ({g82:.2}x)"
-    );
+    assert!(g28 > g82, "2+8 gain ({g28:.2}x) must exceed 8+2 gain ({g82:.2}x)");
     assert!(g82 < 1.1, "8+2 should show little-to-negative benefit, got {g82:.2}x");
 }
 
@@ -79,10 +73,7 @@ fn benefit_diminishes_with_more_high_priority_threads() {
 #[test]
 fn high_priority_threads_log_but_never_roll_back() {
     let scale = Scale::smoke();
-    let c = run_cell(&BenchParams {
-        write_pct: 60,
-        ..params(true, &scale, 2, 4)
-    });
+    let c = run_cell(&BenchParams { write_pct: 60, ..params(true, &scale, 2, 4) });
     assert!(c.metrics.log_entries > 0, "all threads log");
     // rollbacks happened (low threads)…
     assert!(c.metrics.rollbacks <= c.metrics.revocations_requested);
