@@ -9,6 +9,13 @@
 //!        [--elide] [--sticky] [--trace] [--stats]
 //!        [--trace-out events.jsonl] [--chrome-trace out.json]
 //!        [--metrics-json metrics.json]
+//! revmon explore program.rvm [--entry main] [--max-preemptions N]
+//!        [--max-schedules N] [--all-failures] [--max-rounds N]
+//!        [--fuzz-iters N] [--fuzz-seed N] [--fuzz-len N]
+//!        [--replay file.schedule.json] [--minimize]
+//!        [--save-failure out.schedule.json] [--fault-skip-undo N]
+//!        [--policy ...] [--seed N] [--quantum N] [--max-steps N]
+//!        [--stats] [--metrics-json metrics.json]
 //! revmon demo [--low N] [--high N] [--sections N] [--stats]
 //!        [--trace-out events.jsonl] [--chrome-trace out.json]
 //!        [--metrics-json metrics.json]
@@ -19,6 +26,12 @@
 //! The observability flags work on both runtimes: `run` records the VM's
 //! virtual-clock event stream, `demo` records wall-clock events from the
 //! locks runtime's priority-inversion scenario. See `docs/observability.md`.
+//!
+//! `explore` enumerates schedules of a program exhaustively under a
+//! preemption bound (or samples them with `--fuzz-iters`), checking the
+//! revocation protocol's invariants on every run; failing schedules can
+//! be minimized and saved as replayable `.schedule.json` artifacts. See
+//! `docs/exploration.md`.
 
 use revmon_core::{DetectionStrategy, InversionPolicy, Priority, QueueDiscipline};
 use revmon_obs::{EventSink, TsUnit};
@@ -40,7 +53,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: revmon <run|dis|verify> <file.rvm> [options]\n       revmon demo [options]\n       see crate docs for the option list".into()
+    "usage: revmon <run|explore|dis|verify> <file.rvm> [options]\n       revmon demo [options]\n       see crate docs for the option list".into()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -75,6 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
         "run" => run_program(file, program, opts),
+        "explore" => run_explore(file, program, &src, opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
@@ -132,11 +146,9 @@ fn create(path: &str) -> Result<std::io::BufWriter<std::fs::File>, String> {
         .map_err(|e| format!("cannot create {path}: {e}"))
 }
 
-fn run_program(
-    file: &str,
-    program: revmon_vm::bytecode::Program,
-    opts: &[String],
-) -> Result<(), String> {
+/// Build a [`VmConfig`] from the common command-line knobs shared by
+/// `run` and `explore`.
+fn parse_vm_config(opts: &[String]) -> Result<VmConfig, String> {
     let mut cfg = match get_opt(opts, "--config")?.as_deref() {
         None | Some("modified") => VmConfig::modified(),
         Some("unmodified") => VmConfig::unmodified(),
@@ -189,7 +201,15 @@ fn run_program(
     cfg.elide_barriers = has_flag(opts, "--elide");
     cfg.sticky_nonrevocable = has_flag(opts, "--sticky");
     cfg.trace = has_flag(opts, "--trace");
+    Ok(cfg)
+}
 
+fn run_program(
+    file: &str,
+    program: revmon_vm::bytecode::Program,
+    opts: &[String],
+) -> Result<(), String> {
+    let cfg = parse_vm_config(opts)?;
     let outs = ObsOuts::parse(opts)?;
     let entry_name = get_opt(opts, "--entry")?.unwrap_or_else(|| "main".into());
     let entry = program
@@ -257,6 +277,214 @@ fn run_program(
         report.global.for_each_field(|name, v| counters.push((name, v)));
         outs.export(sink, &counters)?;
     }
+    Ok(())
+}
+
+/// `revmon explore`: enumerate (or fuzz) the schedules of a program,
+/// checking the revocation protocol's invariants on every run.
+fn run_explore(
+    file: &str,
+    program: revmon_vm::bytecode::Program,
+    src: &str,
+    opts: &[String],
+) -> Result<(), String> {
+    use revmon_explore::{explore, fuzz, minimize, Bounds, FuzzPlan, Runner, ScheduleFile};
+
+    if let Err(errors) = verify_program(&program) {
+        let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        return Err(format!("{file}: verification failed:\n  {}", msgs.join("\n  ")));
+    }
+    let mut cfg = parse_vm_config(opts)?;
+    if let Some(n) = parse_opt(opts, "--fault-skip-undo")? {
+        cfg.fault_skip_undo = n; // test-only: sabotage rollback to prove detection
+    }
+    let entry_name = get_opt(opts, "--entry")?.unwrap_or_else(|| "main".into());
+    let do_minimize = has_flag(opts, "--minimize");
+    let save_failure = get_opt(opts, "--save-failure")?;
+    let metrics = get_opt(opts, "--metrics-json")?;
+
+    // Replay mode: re-execute a saved schedule bit-for-bit.
+    if let Some(path) = get_opt(opts, "--replay")? {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let sched = ScheduleFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        if !sched.matches_program(src) {
+            return Err(format!(
+                "{path}: schedule was recorded against a different program (hash {}, expected {})",
+                sched.program_fnv,
+                format_args!("{:016x}", revmon_explore::fnv1a(src)),
+            ));
+        }
+        sched.apply_to(&mut cfg)?;
+        let runner = Runner::new(program, &sched.entry, cfg)?;
+        let out = runner.run(&sched.decisions);
+        println!(
+            "replayed {} decisions: terminal {:?}, {} rounds, clock {}, fingerprint {:016x}",
+            out.decisions.len(),
+            out.terminal,
+            out.rounds,
+            out.clock,
+            out.fingerprint
+        );
+        for v in &out.violations {
+            println!("violation: {v}");
+        }
+        return match &sched.expect_invariant {
+            Some(inv) if out.violates(inv) => {
+                println!("reproduced expected violation `{inv}`");
+                Ok(())
+            }
+            Some(inv) => Err(format!("expected violation `{inv}` did not reproduce")),
+            None if out.violations.is_empty() => Ok(()),
+            None => Err(format!("{} invariant violation(s)", out.violations.len())),
+        };
+    }
+
+    let mut runner = Runner::new(program, &entry_name, cfg)?;
+    if let Some(r) = parse_opt(opts, "--max-rounds")? {
+        runner.max_rounds = r;
+    }
+
+    // Shared failure handling: print, optionally minimize, optionally save.
+    let handle_failure = |runner: &Runner,
+                          schedule: Vec<u32>,
+                          invariant: &str,
+                          detail: &str|
+     -> Result<(), String> {
+        println!("FAILURE: {invariant} — {detail}");
+        println!("schedule ({} decisions): {schedule:?}", schedule.len());
+        let mut final_schedule = schedule;
+        if do_minimize {
+            let min = minimize(runner, &final_schedule, invariant, 0);
+            println!(
+                "minimized to {} decisions in {} runs: {:?}",
+                min.schedule.len(),
+                min.runs,
+                min.schedule
+            );
+            final_schedule = min.schedule;
+        }
+        if let Some(path) = &save_failure {
+            let artifact = ScheduleFile::new(
+                file,
+                src,
+                runner.entry_name(),
+                runner.config(),
+                final_schedule,
+                Some(invariant.to_string()),
+            );
+            std::fs::write(path, artifact.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("saved failing schedule to {path}");
+        }
+        Ok(())
+    };
+
+    // Fuzzing mode: sample the schedule space instead of enumerating it.
+    if let Some(iters) = parse_opt(opts, "--fuzz-iters")? {
+        let plan = FuzzPlan {
+            iters,
+            seed: parse_opt(opts, "--fuzz-seed")?.unwrap_or(FuzzPlan::default().seed),
+            script_len: parse_opt(opts, "--fuzz-len")?.unwrap_or(FuzzPlan::default().script_len),
+            ..FuzzPlan::default()
+        };
+        let report = fuzz(&runner, plan);
+        println!(
+            "fuzzed {} schedules: {} completed, {} stalled, {} rollbacks verified",
+            report.iters, report.completed, report.stalls, report.rollbacks
+        );
+        if let Some(path) = &metrics {
+            let counters = [
+                ("fuzz_iters", report.iters),
+                ("fuzz_completed", report.completed),
+                ("fuzz_stalls", report.stalls),
+                ("fuzz_rollbacks", report.rollbacks),
+                ("fuzz_failures", report.failure.is_some() as u64),
+            ];
+            write_metrics(path, &counters)?;
+        }
+        return match report.failure {
+            None => {
+                println!("invariants: all passed");
+                Ok(())
+            }
+            Some((schedule, invariant)) => {
+                handle_failure(&runner, schedule, &invariant, "found by fuzzing")?;
+                Err(format!("invariant `{invariant}` violated"))
+            }
+        };
+    }
+
+    // Exhaustive mode.
+    let bounds = Bounds {
+        max_preemptions: parse_opt(opts, "--max-preemptions")?.unwrap_or(2),
+        max_schedules: parse_opt(opts, "--max-schedules")?.unwrap_or(0),
+        stop_on_first_failure: !has_flag(opts, "--all-failures"),
+    };
+    let report = explore(&runner, bounds);
+    let s = &report.stats;
+    println!(
+        "explored {} schedules ({} decision points) under preemption bound {}",
+        s.schedules, s.decision_points, bounds.max_preemptions
+    );
+    println!(
+        "pruned: {} visited-state, {} preemption-bound",
+        s.pruned_visited, s.pruned_preemption
+    );
+    println!(
+        "terminals: {} distinct final states, {} stalled, {} budget-exhausted; {} rollbacks verified",
+        report.terminal_states.len(),
+        s.stalls,
+        s.budget_exhausted,
+        s.rollbacks
+    );
+    if s.capped {
+        println!(
+            "NOTE: schedule cap ({}) stopped the search early — this is a sample, not a proof",
+            bounds.max_schedules
+        );
+    }
+    if has_flag(opts, "--stats") {
+        println!("--- stats ---");
+        println!("{s:#?}");
+    }
+    if let Some(path) = &metrics {
+        let counters = [
+            ("explore_schedules", s.schedules),
+            ("explore_decision_points", s.decision_points),
+            ("explore_pruned_visited", s.pruned_visited),
+            ("explore_pruned_preemption", s.pruned_preemption),
+            ("explore_stalls", s.stalls),
+            ("explore_budget_exhausted", s.budget_exhausted),
+            ("explore_rollbacks", s.rollbacks),
+            ("explore_terminal_states", report.terminal_states.len() as u64),
+            ("explore_failures", report.failures.len() as u64),
+            ("explore_capped", s.capped as u64),
+        ];
+        write_metrics(path, &counters)?;
+    }
+    if report.clean() {
+        println!("invariants: all passed");
+        Ok(())
+    } else {
+        let n = report.failures.len();
+        for f in report.failures {
+            let v = &f.outcome.violations[0];
+            handle_failure(&runner, f.schedule.clone(), v.invariant, &v.detail)?;
+        }
+        Err(format!("{n} invariant-violating schedule(s)"))
+    }
+}
+
+/// Write explore/fuzz counters as a metrics JSON document (same format
+/// as `run --metrics-json`, with empty histograms).
+fn write_metrics(path: &str, counters: &[(&str, u64)]) -> Result<(), String> {
+    let json = revmon_obs::metrics_json(
+        counters,
+        &revmon_obs::Histograms::default(),
+        TsUnit::VirtualTicks,
+    );
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("revmon: wrote metrics to {path}");
     Ok(())
 }
 

@@ -117,6 +117,25 @@ impl<T> PrioritizedQueue<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.waiters.iter().map(|w| &w.item)
     }
+
+    /// Iterate over `(item, queued-at priority)` pairs in arrival order
+    /// (invariant checking and state fingerprinting).
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&T, Priority)> {
+        self.waiters.iter().map(|w| (&w.item, w.priority))
+    }
+
+    /// The discipline this queue dequeues under.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Internal-consistency check: arrival sequence numbers must be
+    /// strictly increasing front-to-back (re-prioritization re-pushes,
+    /// so this holds for every reachable queue state).
+    pub fn is_well_formed(&self) -> bool {
+        self.waiters.iter().zip(self.waiters.iter().skip(1)).all(|(a, b)| a.seq < b.seq)
+            && self.waiters.iter().all(|w| w.seq < self.next_seq)
+    }
 }
 
 impl<T> Default for PrioritizedQueue<T> {

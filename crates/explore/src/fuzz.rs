@@ -1,0 +1,108 @@
+//! Seeded random schedule fuzzing.
+//!
+//! Where exhaustive exploration proves properties of *small* programs,
+//! the fuzzer samples the schedule space of *large* ones: each iteration
+//! draws a random decision script, runs it through the same
+//! invariant-checked runner, and keeps the first failing schedule. Runs
+//! are deterministic functions of the seed, so `FuzzReport::failure`
+//! always replays.
+
+use crate::runner::{Runner, Terminal};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fuzzing limits and shape.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzPlan {
+    /// Iterations to run.
+    pub iters: u64,
+    /// RNG seed; equal seeds produce equal campaigns.
+    pub seed: u64,
+    /// Length of each random decision script.
+    pub script_len: usize,
+    /// Exclusive upper bound on drawn decision indices. Values landing
+    /// out of a choice point's range fall back to the default choice, so
+    /// a bound a little above the expected thread count biases toward
+    /// meaningful switches without starving any candidate.
+    pub max_choice: u32,
+}
+
+impl Default for FuzzPlan {
+    fn default() -> Self {
+        FuzzPlan { iters: 100, seed: 0xf022, script_len: 64, max_choice: 4 }
+    }
+}
+
+/// Outcome of a fuzzing campaign.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iters: u64,
+    /// Schedules that completed normally.
+    pub completed: u64,
+    /// Schedules that stalled.
+    pub stalls: u64,
+    /// Total rollbacks verified across the campaign.
+    pub rollbacks: u64,
+    /// First failing schedule (full decision sequence) and the violated
+    /// invariant's name.
+    pub failure: Option<(Vec<u32>, String)>,
+}
+
+/// Run a fuzzing campaign over `runner`'s program. Stops early at the
+/// first invariant violation.
+pub fn fuzz(runner: &Runner, plan: FuzzPlan) -> FuzzReport {
+    let mut rng = SmallRng::seed_from_u64(plan.seed);
+    let mut report = FuzzReport::default();
+    for _ in 0..plan.iters {
+        let script: Vec<u32> =
+            (0..plan.script_len).map(|_| rng.gen_range(0..plan.max_choice.max(1))).collect();
+        let out = runner.run(&script);
+        report.iters += 1;
+        report.rollbacks += out.rollbacks;
+        match out.terminal {
+            Terminal::Completed => report.completed += 1,
+            Terminal::Stalled => report.stalls += 1,
+            _ => {}
+        }
+        if let Some(v) = out.violations.first() {
+            report.failure = Some((out.choices(), v.invariant.to_string()));
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testprogs;
+
+    #[test]
+    fn fuzzing_a_correct_program_finds_nothing() {
+        let report =
+            fuzz(&testprogs::inversion_pair(), FuzzPlan { iters: 40, ..Default::default() });
+        assert_eq!(report.iters, 40);
+        assert!(report.failure.is_none());
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn fuzzing_is_deterministic_in_the_seed() {
+        let runner = testprogs::two_incrementers(2);
+        let plan = FuzzPlan { iters: 10, seed: 7, ..Default::default() };
+        let a = fuzz(&runner, plan);
+        let b = fuzz(&runner, plan);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.rollbacks, b.rollbacks);
+    }
+
+    #[test]
+    fn fuzzing_catches_the_injected_fault() {
+        let runner = testprogs::faulty_inversion_pair(1);
+        let report = fuzz(&runner, FuzzPlan { iters: 200, ..Default::default() });
+        let (schedule, invariant) = report.failure.expect("fault must surface");
+        assert_eq!(invariant, "rollback-restoration");
+        assert!(runner.run(&schedule).violates("rollback-restoration"), "must replay");
+    }
+}

@@ -1,0 +1,365 @@
+//! Serializable `.schedule.json` replay artifacts.
+//!
+//! A failing schedule is only useful if it can travel: out of a fuzzing
+//! run, into a bug report, back into `revmon explore --replay`. The
+//! artifact captures everything replay determinism depends on — the
+//! program's identity (name + FNV-1a content hash), the entry method,
+//! the VM configuration axes that alter execution (inversion policy,
+//! RNG seed, quantum, step cap, fault injection), and the decision
+//! sequence itself. An optional `expect` block names the invariant the
+//! schedule is supposed to violate, so replays can assert they still
+//! reproduce the original failure.
+//!
+//! The format is a small fixed-shape JSON document, written and parsed
+//! by hand (this workspace deliberately carries no serde dependency).
+
+use revmon_core::InversionPolicy;
+use revmon_vm::VmConfig;
+
+/// A portable schedule: program identity + config axes + decisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleFile {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// Program file name (diagnostic; the hash is authoritative).
+    pub program: String,
+    /// FNV-1a 64-bit hash of the program source text, as fixed-width hex.
+    pub program_fnv: String,
+    /// Entry method name.
+    pub entry: String,
+    /// Inversion policy tag: `revocation`, `blocking`, `inherit`, or
+    /// `ceiling=N`.
+    pub policy: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Scheduling quantum in ticks.
+    pub quantum: u64,
+    /// Instruction cap (0 = unlimited).
+    pub max_steps: u64,
+    /// Test-only rollback fault injection level.
+    pub fault_skip_undo: u32,
+    /// The decision sequence.
+    pub decisions: Vec<u32>,
+    /// Invariant this schedule is expected to violate, if any.
+    pub expect_invariant: Option<String>,
+}
+
+/// FNV-1a 64-bit hash of `text`, the schedule format's program identity.
+pub fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The policy tag for a configuration.
+pub fn policy_tag(cfg: &VmConfig) -> String {
+    match cfg.policy {
+        InversionPolicy::Revocation => "revocation".into(),
+        InversionPolicy::Blocking => "blocking".into(),
+        InversionPolicy::PriorityInheritance => "inherit".into(),
+        InversionPolicy::PriorityCeiling(p) => format!("ceiling={}", p.level()),
+    }
+}
+
+/// Parse a policy tag back into an [`InversionPolicy`].
+pub fn parse_policy_tag(tag: &str) -> Result<InversionPolicy, String> {
+    Ok(match tag {
+        "revocation" => InversionPolicy::Revocation,
+        "blocking" => InversionPolicy::Blocking,
+        "inherit" => InversionPolicy::PriorityInheritance,
+        t if t.starts_with("ceiling=") => {
+            let n: u8 = t[8..].parse().map_err(|_| format!("bad ceiling in `{t}`"))?;
+            InversionPolicy::PriorityCeiling(revmon_core::Priority::new(n))
+        }
+        t => return Err(format!("unknown policy tag `{t}`")),
+    })
+}
+
+impl ScheduleFile {
+    /// Build an artifact from a run's context.
+    pub fn new(
+        program_name: &str,
+        program_src: &str,
+        entry: &str,
+        cfg: &VmConfig,
+        decisions: Vec<u32>,
+        expect_invariant: Option<String>,
+    ) -> Self {
+        ScheduleFile {
+            version: 1,
+            program: program_name.to_string(),
+            program_fnv: format!("{:016x}", fnv1a(program_src)),
+            entry: entry.to_string(),
+            policy: policy_tag(cfg),
+            seed: cfg.seed,
+            quantum: cfg.cost.quantum,
+            max_steps: cfg.max_steps,
+            fault_skip_undo: cfg.fault_skip_undo,
+            decisions,
+            expect_invariant,
+        }
+    }
+
+    /// Apply the artifact's configuration axes onto `cfg` (policy, seed,
+    /// quantum, step cap, fault level).
+    pub fn apply_to(&self, cfg: &mut VmConfig) -> Result<(), String> {
+        cfg.policy = parse_policy_tag(&self.policy)?;
+        cfg.seed = self.seed;
+        cfg.cost.quantum = self.quantum;
+        cfg.max_steps = self.max_steps;
+        cfg.fault_skip_undo = self.fault_skip_undo;
+        Ok(())
+    }
+
+    /// Verify the artifact matches `program_src` (FNV identity check).
+    pub fn matches_program(&self, program_src: &str) -> bool {
+        self.program_fnv == format!("{:016x}", fnv1a(program_src))
+    }
+
+    /// Serialize as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let decisions: Vec<String> = self.decisions.iter().map(|d| d.to_string()).collect();
+        let expect = match &self.expect_invariant {
+            None => "null".to_string(),
+            Some(s) => format!("\"{}\"", escape(s)),
+        };
+        format!(
+            "{{\n  \"version\": {},\n  \"program\": \"{}\",\n  \"program_fnv\": \"{}\",\n  \"entry\": \"{}\",\n  \"policy\": \"{}\",\n  \"seed\": {},\n  \"quantum\": {},\n  \"max_steps\": {},\n  \"fault_skip_undo\": {},\n  \"decisions\": [{}],\n  \"expect_invariant\": {}\n}}\n",
+            self.version,
+            escape(&self.program),
+            escape(&self.program_fnv),
+            escape(&self.entry),
+            escape(&self.policy),
+            self.seed,
+            self.quantum,
+            self.max_steps,
+            self.fault_skip_undo,
+            decisions.join(", "),
+            expect,
+        )
+    }
+
+    /// Parse a document produced by [`ScheduleFile::to_json`] (or edited
+    /// by hand within the same shape).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser { s: text.as_bytes(), i: 0 };
+        p.expect(b'{')?;
+        let mut file = ScheduleFile {
+            version: 0,
+            program: String::new(),
+            program_fnv: String::new(),
+            entry: String::new(),
+            policy: String::new(),
+            seed: 0,
+            quantum: 0,
+            max_steps: 0,
+            fault_skip_undo: 0,
+            decisions: Vec::new(),
+            expect_invariant: None,
+        };
+        let mut first = true;
+        loop {
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                p.expect(b'}')?;
+                break;
+            }
+            if !first {
+                p.expect(b',')?;
+            }
+            first = false;
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "version" => file.version = p.number()? as u32,
+                "program" => file.program = p.string()?,
+                "program_fnv" => file.program_fnv = p.string()?,
+                "entry" => file.entry = p.string()?,
+                "policy" => file.policy = p.string()?,
+                "seed" => file.seed = p.number()?,
+                "quantum" => file.quantum = p.number()?,
+                "max_steps" => file.max_steps = p.number()?,
+                "fault_skip_undo" => file.fault_skip_undo = p.number()? as u32,
+                "decisions" => file.decisions = p.number_array()?,
+                "expect_invariant" => file.expect_invariant = p.string_or_null()?,
+                other => return Err(format!("unknown key `{other}`")),
+            }
+        }
+        if file.version != 1 {
+            return Err(format!("unsupported schedule version {}", file.version));
+        }
+        Ok(file)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Minimal JSON reader for the fixed document shape above.
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.s.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.s.get(self.i).copied().ok_or("dangling escape")?;
+                    self.i += 1;
+                    out.push(match e {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                }
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn string_or_null(&mut self) -> Result<Option<String>, String> {
+        if self.peek() == Some(b'n') {
+            if self.s[self.i..].starts_with(b"null") {
+                self.i += 4;
+                return Ok(None);
+            }
+            return Err(format!("expected string or null at byte {}", self.i));
+        }
+        self.string().map(Some)
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn number_array(&mut self) -> Result<Vec<u32>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.number()? as u32);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testprogs;
+
+    fn sample() -> ScheduleFile {
+        ScheduleFile::new(
+            "priority_inversion.rvm",
+            "; the program text",
+            "main",
+            &testprogs::explore_config(),
+            vec![1, 0, revmon_vm::DEFAULT_CHOICE, 2],
+            Some("rollback-restoration".into()),
+        )
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let f = sample();
+        let parsed = ScheduleFile::parse(&f.to_json()).expect("parses");
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn no_expectation_round_trips_as_null() {
+        let mut f = sample();
+        f.expect_invariant = None;
+        assert!(f.to_json().contains("\"expect_invariant\": null"));
+        assert_eq!(ScheduleFile::parse(&f.to_json()).unwrap(), f);
+    }
+
+    #[test]
+    fn program_identity_is_content_hashed() {
+        let f = sample();
+        assert!(f.matches_program("; the program text"));
+        assert!(!f.matches_program("; tampered text"));
+        assert_eq!(f.program_fnv.len(), 16);
+    }
+
+    #[test]
+    fn config_axes_survive_apply() {
+        let f = sample();
+        let mut cfg = revmon_vm::VmConfig::unmodified();
+        f.apply_to(&mut cfg).unwrap();
+        assert_eq!(schedule_cfg_tag(&cfg), f.policy);
+        assert_eq!(cfg.cost.quantum, f.quantum);
+        assert_eq!(cfg.seed, f.seed);
+    }
+
+    fn schedule_cfg_tag(cfg: &revmon_vm::VmConfig) -> String {
+        policy_tag(cfg)
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(ScheduleFile::parse("{").is_err());
+        assert!(ScheduleFile::parse("{\"version\": 2}").is_err());
+        assert!(ScheduleFile::parse("{\"mystery\": 1}").is_err());
+    }
+}

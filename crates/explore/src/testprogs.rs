@@ -1,0 +1,162 @@
+//! Small concurrent programs sized for *exhaustive* exploration.
+//!
+//! The corpus programs under `programs/` spin for tens of thousands of
+//! iterations — right for benchmarking, hopeless for exhaustive schedule
+//! enumeration. The builders here produce semantically equivalent
+//! miniatures (two or three threads, a handful of iterations) and pair
+//! them with a cost model whose quantum is one tick, so *every* yield
+//! point with more than one runnable thread becomes a decision point.
+
+use crate::runner::Runner;
+use revmon_core::CostModel;
+use revmon_vm::builder::{MethodBuilder, ProgramBuilder};
+use revmon_vm::bytecode::{NativeOp, Program};
+use revmon_vm::VmConfig;
+
+/// The modified-VM configuration exploration uses by default: revocation
+/// enabled, all mechanism costs zeroed, and a one-tick quantum so the
+/// scheduler is consulted at every yield point.
+pub fn explore_config() -> VmConfig {
+    let mut cfg = VmConfig::modified();
+    cfg.cost = CostModel { quantum: 1, ..CostModel::free_mechanism() };
+    cfg
+}
+
+/// Main method that allocates one lock object, spawns `n` copies of
+/// `worker(lock)` at the given priorities, and joins them all.
+fn spawn_and_join(
+    pb: &mut ProgramBuilder,
+    worker: revmon_vm::bytecode::MethodId,
+    priorities: &[i64],
+) {
+    let main = pb.declare_method("main", 0);
+    let n = priorities.len() as u16;
+    let mut b = MethodBuilder::new(0, 1 + n);
+    b.new_object(0, 0);
+    b.store(0);
+    for (i, &prio) in priorities.iter().enumerate() {
+        b.load(0);
+        b.const_i(prio);
+        b.spawn(worker);
+        b.store(1 + i as u16);
+    }
+    for i in 0..n {
+        b.load(1 + i);
+        b.join();
+    }
+    b.ret_void();
+    pb.implement(main, b);
+}
+
+/// Two equal-priority threads each incrementing a shared static `iters`
+/// times inside a synchronized block — the canonical data-race-free
+/// counter. Every schedule must end with `s0 == 2 * iters`.
+pub fn two_incrementers(iters: i64) -> Runner {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(1);
+    let worker = pb.declare_method("worker", 1);
+    let mut b = MethodBuilder::new(1, 2);
+    b.repeat(1, iters, |b| {
+        b.sync_on_local(0, |b| {
+            b.add_static(0, 1);
+        });
+    });
+    b.ret_void();
+    pb.implement(worker, b);
+    spawn_and_join(&mut pb, worker, &[5, 5]);
+    Runner::new(pb.finish(), "main", explore_config()).expect("valid program")
+}
+
+/// A low-priority thread updates two statics inside a long section while
+/// a high-priority thread contends for the same lock — the Figure 1
+/// inversion miniature. Under the modified VM the high thread's arrival
+/// revokes the low holder; every schedule still ends with both updates
+/// committed exactly once per thread.
+pub fn inversion_pair() -> Runner {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(2);
+    let worker = pb.declare_method("worker", 1);
+    let mut b = MethodBuilder::new(1, 1);
+    b.sync_on_local(0, |b| {
+        b.add_static(0, 1);
+        b.add_static(1, 10);
+        b.const_i(6);
+        b.work();
+    });
+    b.ret_void();
+    pb.implement(worker, b);
+    spawn_and_join(&mut pb, worker, &[2, 8]);
+    Runner::new(pb.finish(), "main", explore_config()).expect("valid program")
+}
+
+/// [`inversion_pair`] with the test-only rollback fault injected: each
+/// rollback silently skips restoring its newest `skip` undo entries.
+/// Exploration must catch this as a `rollback-restoration` violation.
+pub fn faulty_inversion_pair(skip: u32) -> Runner {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(2);
+    let worker = pb.declare_method("worker", 1);
+    let mut b = MethodBuilder::new(1, 1);
+    b.sync_on_local(0, |b| {
+        b.add_static(0, 1);
+        b.add_static(1, 10);
+        b.const_i(6);
+        b.work();
+    });
+    b.ret_void();
+    pb.implement(worker, b);
+    spawn_and_join(&mut pb, worker, &[2, 8]);
+    let mut cfg = explore_config();
+    cfg.fault_skip_undo = skip;
+    Runner::new(pb.finish(), "main", cfg).expect("valid program")
+}
+
+/// Two philosophers taking two locks in opposite orders — the deadlock
+/// miniature. The modified VM must detect and break every deadlock these
+/// schedules can form; both meals complete in every schedule.
+pub fn deadlock_pair() -> Runner {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(1);
+    let dine = pb.declare_method("dine", 2);
+    let mut b = MethodBuilder::new(2, 2);
+    b.sync_on_local(0, |b| {
+        b.const_i(3);
+        b.work();
+        b.sync_on_local(1, |b| {
+            b.add_static(0, 1);
+        });
+    });
+    b.ret_void();
+    pb.implement(dine, b);
+
+    let main = pb.declare_method("main", 0);
+    let mut b = MethodBuilder::new(0, 4);
+    b.new_object(0, 0);
+    b.store(0);
+    b.new_object(0, 0);
+    b.store(1);
+    b.load(0);
+    b.load(1);
+    b.const_i(5);
+    b.spawn(dine);
+    b.store(2);
+    b.load(1);
+    b.load(0);
+    b.const_i(5);
+    b.spawn(dine);
+    b.store(3);
+    b.load(2);
+    b.join();
+    b.load(3);
+    b.join();
+    b.get_static(0);
+    b.native(NativeOp::Emit);
+    b.ret_void();
+    pb.implement(main, b);
+    Runner::new(pb.finish(), "main", explore_config()).expect("valid program")
+}
+
+/// Assemble a `.rvm` corpus program from source text into a [`Program`].
+pub fn assemble_corpus(src: &str) -> Result<Program, String> {
+    revmon_vm::assemble(src).map_err(|e| e.to_string())
+}

@@ -1,7 +1,7 @@
 //! Per-monitor counters.
 //!
 //! One field list generates both the internal atomic counters
-//! ([`MonitorStats`]) and the public point-in-time copy
+//! (`MonitorStats`) and the public point-in-time copy
 //! ([`StatsSnapshot`]), so `snapshot`, `merge`, and the by-name export
 //! can never drift out of sync with the counter set.
 

@@ -12,7 +12,7 @@ use crate::value::{ObjRef, Value, ValueError};
 
 /// A heap location: the unit of write-barrier logging and of the
 /// JMM-consistency map. One logged entry = one location + old value.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Location {
     /// Field `offset` of object/array `0` (arrays: element index).
     Obj(ObjRef, u32),
@@ -105,6 +105,24 @@ impl Heap {
     /// non-volatile; use [`Heap::declare_static_volatile`] to flag).
     pub fn new(n_statics: usize) -> Self {
         Heap { objects: Vec::new(), statics: vec![StaticSlot::default(); n_statics] }
+    }
+
+    /// Feed the complete heap contents — every object slot and every
+    /// static — into `h` in deterministic order (state fingerprinting).
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.objects.len().hash(h);
+        for o in &self.objects {
+            o.class_tag.hash(h);
+            o.volatile_mask.hash(h);
+            o.is_array.hash(h);
+            o.slots.hash(h);
+        }
+        self.statics.len().hash(h);
+        for s in &self.statics {
+            s.value.hash(h);
+            s.volatile.hash(h);
+        }
     }
 
     /// Mark static slot `i` volatile.

@@ -327,7 +327,12 @@ impl Vm {
             }
             Insn::RandInt => {
                 let bound = self.pop_int(tid)?;
-                let v = if bound <= 0 { 0 } else { self.rng.gen_range(0..bound) };
+                let v = if bound <= 0 {
+                    0
+                } else {
+                    self.rng_draws += 1;
+                    self.rng.gen_range(0..bound)
+                };
                 self.push(tid, Value::Int(v));
                 cont
             }
@@ -429,6 +434,7 @@ impl Vm {
         match self.heap.read(loc) {
             Ok(v) => {
                 self.push(tid, v);
+                self.with_probe(|p, vm| p.on_heap_read(vm, tid, loc, v));
                 Ok(StepOutcome::Continue { yield_point: false })
             }
             Err(HeapError::BadOffset(..)) | Err(HeapError::BadStatic(_)) => {
@@ -461,6 +467,7 @@ impl Vm {
     ) -> Result<StepOutcome, VmError> {
         match self.heap.write(loc, v) {
             Ok(old) => {
+                let mut logged = false;
                 if self.config.barriers && elided {
                     debug_assert!(
                         !self.thread(tid).in_section(),
@@ -472,6 +479,7 @@ impl Vm {
                     self.thread_mut(tid).metrics.barrier_fast_paths += 1;
                     self.charge(self.config.cost.barrier_fast);
                     if self.thread(tid).in_section() {
+                        logged = true;
                         let pos = {
                             let t = self.thread_mut(tid);
                             t.undo.push(UndoEntry { loc, old });
@@ -484,6 +492,7 @@ impl Vm {
                         self.charge(self.config.cost.barrier_slow);
                     }
                 }
+                self.with_probe(|p, vm| p.on_heap_write(vm, tid, loc, old, v, logged));
                 Ok(StepOutcome::Continue { yield_point: false })
             }
             Err(HeapError::BadOffset(..)) | Err(HeapError::BadStatic(_)) => {

@@ -94,6 +94,15 @@ impl JmmGuard {
         }
     }
 
+    /// All live speculative writes, sorted by location — a deterministic
+    /// view for invariant checking and state fingerprinting.
+    pub fn entries(&self) -> Vec<(Location, SpeculativeWrite)> {
+        let mut v: Vec<(Location, SpeculativeWrite)> =
+            self.map.iter().map(|(&l, &w)| (l, w)).collect();
+        v.sort_by_key(|&(l, _)| l);
+        v
+    }
+
     /// Number of live speculative entries (diagnostics).
     pub fn len(&self) -> usize {
         self.map.len()

@@ -76,12 +76,15 @@ pub mod builder;
 pub mod bytecode;
 pub mod disasm;
 pub mod error;
+mod fingerprint;
 pub mod heap;
 pub mod interp;
 pub mod jmm;
 pub mod monitor;
+pub mod probe;
 mod revoke;
 pub mod rewrite;
+pub mod sched;
 mod sync;
 pub mod thread;
 pub mod trace;
@@ -94,7 +97,12 @@ pub use asm::{assemble, AsmError};
 pub use disasm::{disassemble, disassemble_method};
 pub use error::VmError;
 pub use interp::{ARITH_TAG, NPE_TAG, OOB_TAG, OOM_TAG};
+pub use probe::Probe;
 pub use rewrite::rewrite_program;
+pub use sched::{
+    Candidate, DecisionRecord, SchedContext, SchedulePolicy, SchedulerKind, Scripted,
+    DEFAULT_CHOICE,
+};
 pub use trace::{TraceEvent, TraceRecord};
 pub use verify::{verify_program, VerifyError};
-pub use vm::{MonitorReport, RunReport, SchedulerKind, ThreadReport, Vm, VmConfig};
+pub use vm::{MonitorReport, RoundOutcome, RunReport, ThreadReport, Vm, VmConfig};

@@ -8,7 +8,7 @@
 
 use crate::value::ObjRef;
 use revmon_core::{PrioritizedQueue, Priority, QueueDiscipline, ThreadId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Runtime state of one monitor.
 #[derive(Debug)]
@@ -61,16 +61,20 @@ impl MonitorState {
 }
 
 /// Table of all monitors that have ever been synchronized on.
+///
+/// Backed by an *ordered* map: the background inversion scanner and the
+/// state fingerprinter iterate it, and both must see a deterministic
+/// order for runs to be bit-exact replayable.
 #[derive(Debug)]
 pub struct MonitorTable {
-    monitors: HashMap<ObjRef, MonitorState>,
+    monitors: BTreeMap<ObjRef, MonitorState>,
     discipline: QueueDiscipline,
 }
 
 impl MonitorTable {
     /// Empty table; new monitors get entry queues with `discipline`.
     pub fn new(discipline: QueueDiscipline) -> Self {
-        MonitorTable { monitors: HashMap::new(), discipline }
+        MonitorTable { monitors: BTreeMap::new(), discipline }
     }
 
     /// Monitor state for `obj`, created on first use.
@@ -84,7 +88,8 @@ impl MonitorTable {
         self.monitors.get(&obj)
     }
 
-    /// Iterate over all monitors (background inversion detection).
+    /// Iterate over all monitors in ascending object order (background
+    /// inversion detection, invariant checking).
     pub fn iter(&self) -> impl Iterator<Item = (&ObjRef, &MonitorState)> {
         self.monitors.iter()
     }

@@ -129,12 +129,21 @@ impl Vm {
             let heap = &mut self.heap;
             let jmm = &mut self.jmm;
             let guard = self.config.jmm_guard;
+            // Test-only fault injection: silently drop the restore of the
+            // newest N entries (but still clear the JMM map and count them,
+            // as the buggy rollback the fault models would).
+            let mut skip = self.config.fault_skip_undo;
             log.rollback_to(mark, |e| {
                 if guard {
                     jmm.clear(e.loc, tid);
                 }
-                // The location was valid when logged; restoring cannot fail.
-                let _ = heap.write(e.loc, e.old);
+                if skip > 0 {
+                    skip -= 1;
+                } else {
+                    // The location was valid when logged; restoring cannot
+                    // fail.
+                    let _ = heap.write(e.loc, e.old);
+                }
                 entries += 1;
             });
             self.threads[tid.index()].undo = log;
@@ -212,6 +221,8 @@ impl Vm {
                 _ => unreachable!("filtered above"),
             }
         }
+        let rolled_monitor = target.monitor;
+        self.with_probe(|p, vm| p.on_rollback(vm, tid, rolled_monitor, entries));
         Ok(())
     }
 }

@@ -131,6 +131,7 @@ impl Vm {
             revocable: !sticky_blocked,
             region,
         });
+        self.with_probe(|p, vm| p.on_section_enter(vm, tid, obj));
     }
 
     /// Pop the innermost section (must be on `obj`), commit the undo log
@@ -160,6 +161,7 @@ impl Vm {
             log.commit_to(sec.mark);
             self.threads[tid.index()].undo = log;
             self.emit_trace(TraceEvent::Commit { thread: tid, monitor: obj });
+            self.with_probe(|p, vm| p.on_commit(vm, tid, obj));
         }
         let t = self.thread_mut(tid);
         t.metrics.sections_committed += 1;

@@ -25,7 +25,7 @@ impl fmt::Display for ObjRef {
 }
 
 /// One VM word.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Value {
     /// The null reference. Also the default value of every slot.
     #[default]

@@ -1,11 +1,14 @@
 //! The virtual machine: configuration, thread spawning, and the
-//! round-robin green-thread scheduler with its virtual clock.
+//! green-thread dispatch loop with its virtual clock.
 //!
 //! Scheduling reproduces the paper's environment (§4): Jikes RVM 2.2.1
 //! schedules threads *round-robin without priorities* on a uniprocessor;
 //! priorities act only at monitor entry queues (prioritized queues) and
-//! through the revocation mechanism itself. A priority-preemptive
-//! scheduler is available for the ablation experiments.
+//! through the revocation mechanism itself. The scheduling *decision* is
+//! pluggable (see [`crate::sched`]): round-robin is the default, a
+//! priority-preemptive policy serves the ablation experiments, and a
+//! scripted policy replays explicit decision sequences for the
+//! `revmon-explore` model checker.
 
 use crate::bytecode::{MethodId, Program};
 use crate::error::VmError;
@@ -13,6 +16,7 @@ use crate::heap::Heap;
 use crate::jmm::JmmGuard;
 use crate::monitor::MonitorTable;
 use crate::rewrite::rewrite_program;
+use crate::sched::{Candidate, SchedContext, SchedulePolicy};
 use crate::thread::{ThreadState, VmThread};
 use crate::trace::{TraceEvent, TraceRecord};
 use crate::value::Value;
@@ -24,18 +28,7 @@ use revmon_core::{
 };
 use std::collections::VecDeque;
 
-/// Which scheduler drives runnable threads.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum SchedulerKind {
-    /// Plain round-robin, priorities ignored (Jikes RVM 2.2.1; the
-    /// paper's setting for all measurements).
-    #[default]
-    RoundRobin,
-    /// Always run the highest effective-priority runnable thread,
-    /// round-robin within a priority class. Needed for the priority
-    /// inheritance / ceiling ablations to be meaningful.
-    PriorityPreemptive,
-}
+pub use crate::sched::SchedulerKind;
 
 /// VM configuration.
 #[derive(Clone, Copy, Debug)]
@@ -80,6 +73,11 @@ pub struct VmConfig {
     pub sticky_nonrevocable: bool,
     /// Record a [`TraceRecord`] stream for tests/examples.
     pub trace: bool,
+    /// **Test-only fault injection**: skip restoring the newest N undo
+    /// entries during each rollback (0 = correct behaviour). Exists so
+    /// the `revmon-explore` invariant checker can prove it catches a
+    /// broken rollback; never set this outside tests.
+    pub fault_skip_undo: u32,
 }
 
 impl VmConfig {
@@ -103,6 +101,7 @@ impl VmConfig {
             max_consecutive_revocations: 0,
             sticky_nonrevocable: false,
             trace: false,
+            fault_skip_undo: 0,
         }
     }
 
@@ -298,7 +297,16 @@ pub struct Vm {
     /// Static write-barrier elision table (when `elide_barriers`).
     pub(crate) elision: Option<crate::analysis::ElisionTable>,
     /// Threads blocked in `Join`, keyed by the thread they wait for.
-    pub(crate) join_waiters: std::collections::HashMap<ThreadId, Vec<ThreadId>>,
+    /// Ordered map: wake-up processing must be deterministic.
+    pub(crate) join_waiters: std::collections::BTreeMap<ThreadId, Vec<ThreadId>>,
+    /// The scheduling decision procedure (from `config.scheduler` unless
+    /// overridden via [`Vm::set_schedule_policy`]).
+    pub(crate) policy: Box<dyn SchedulePolicy>,
+    /// Optional execution probe (see [`crate::probe`]).
+    pub(crate) probe: Option<Box<dyn crate::probe::Probe>>,
+    /// Number of `RandInt` draws so far; together with `config.seed` this
+    /// pins the RNG state (used by state fingerprinting).
+    pub(crate) rng_draws: u64,
 }
 
 impl Vm {
@@ -363,8 +371,18 @@ impl Vm {
             trace: Vec::new(),
             sink: None,
             elision,
-            join_waiters: std::collections::HashMap::new(),
+            join_waiters: std::collections::BTreeMap::new(),
+            policy: config.scheduler.policy(),
+            probe: None,
+            rng_draws: 0,
         }
+    }
+
+    /// Replace the scheduling policy (e.g. with a
+    /// [`Scripted`](crate::sched::Scripted) replay policy). The built-in
+    /// policies come from `config.scheduler`.
+    pub fn set_schedule_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        self.policy = policy;
     }
 
     /// The barrier-elision table, if the analysis ran (diagnostics).
@@ -466,43 +484,55 @@ impl Vm {
     }
 
     /// Make a thread runnable (push to run queue and set `Ready`).
+    /// Idempotent: a thread already queued keeps its position, so the run
+    /// queue holds at most one entry per thread.
     pub(crate) fn make_ready(&mut self, tid: ThreadId) {
         self.thread_mut(tid).state = ThreadState::Ready;
-        self.run_queue.push_back(tid);
+        if !self.run_queue.contains(&tid) {
+            self.run_queue.push_back(tid);
+        }
     }
 
     /// Run until every thread terminates. Returns the report, or an error
     /// if the machine faults or stalls.
     pub fn run(&mut self) -> Result<RunReport, VmError> {
-        loop {
-            self.background_scan_if_due()?;
-            self.wake_sleepers();
-            let Some(tid) = self.pick_next() else {
-                // No runnable threads: advance to the earliest sleeper,
-                // finish, or report a stall.
-                if let Some(wake) = self
-                    .threads
-                    .iter()
-                    .filter_map(|t| match t.state {
-                        ThreadState::Sleeping(until) => Some(until),
-                        _ => None,
-                    })
-                    .min()
-                {
-                    self.clock = self.clock.max(wake);
-                    self.wake_sleepers();
-                    continue;
-                }
-                if self.threads.iter().all(|t| t.is_terminated()) {
-                    break;
-                }
-                let blocked: Vec<ThreadId> =
-                    self.threads.iter().filter(|t| !t.is_terminated()).map(|t| t.id).collect();
-                return Err(VmError::Stalled(blocked));
-            };
-            self.dispatch(tid)?;
-        }
+        while self.run_round()? != RoundOutcome::Done {}
         Ok(self.report())
+    }
+
+    /// Execute one scheduling round: pick a runnable thread and dispatch
+    /// it for one time slice (or advance the clock to the earliest
+    /// sleeper when nothing is runnable). This is [`Vm::run`]'s loop body,
+    /// exposed so external drivers — the `revmon-explore` model checker —
+    /// can interpose state checks between slices.
+    pub fn run_round(&mut self) -> Result<RoundOutcome, VmError> {
+        self.background_scan_if_due()?;
+        self.wake_sleepers();
+        let Some(tid) = self.pick_next() else {
+            // No runnable threads: advance to the earliest sleeper,
+            // finish, or report a stall.
+            if let Some(wake) = self
+                .threads
+                .iter()
+                .filter_map(|t| match t.state {
+                    ThreadState::Sleeping(until) => Some(until),
+                    _ => None,
+                })
+                .min()
+            {
+                self.clock = self.clock.max(wake);
+                self.wake_sleepers();
+                return Ok(RoundOutcome::AdvancedClock);
+            }
+            if self.threads.iter().all(|t| t.is_terminated()) {
+                return Ok(RoundOutcome::Done);
+            }
+            let blocked: Vec<ThreadId> =
+                self.threads.iter().filter(|t| !t.is_terminated()).map(|t| t.id).collect();
+            return Err(VmError::Stalled(blocked));
+        };
+        self.dispatch(tid)?;
+        Ok(RoundOutcome::Ran(tid))
     }
 
     /// Produce the report for the current machine state.
@@ -534,38 +564,33 @@ impl Vm {
                 peak_queue: m.peak_queue,
             })
             .collect();
-        monitors.sort_by_key(|m| std::cmp::Reverse((m.contended, m.acquires)));
+        // Sorted by contention, with the object reference as a total-order
+        // tie-break so report order is deterministic.
+        monitors.sort_by_key(|m| (std::cmp::Reverse((m.contended, m.acquires)), m.object));
         RunReport { clock: self.clock, threads, global, output: self.output.clone(), monitors }
     }
 
-    /// Pick the next thread to dispatch. Skips stale queue entries
-    /// (threads re-queued then blocked again).
+    /// Pick the next thread to dispatch: prune stale queue entries
+    /// (threads re-queued then blocked again), present the Ready threads
+    /// to the [`SchedulePolicy`] in queue order, and dequeue its choice.
     fn pick_next(&mut self) -> Option<ThreadId> {
-        match self.config.scheduler {
-            SchedulerKind::RoundRobin => loop {
-                let tid = self.run_queue.pop_front()?;
-                if self.thread(tid).state == ThreadState::Ready {
-                    return Some(tid);
-                }
-            },
-            SchedulerKind::PriorityPreemptive => {
-                // Highest effective priority; FIFO within class.
-                let mut best: Option<(usize, Priority)> = None;
-                for (i, &tid) in self.run_queue.iter().enumerate() {
-                    if self.thread(tid).state != ThreadState::Ready {
-                        continue;
-                    }
-                    let p = self.thread(tid).effective_priority;
-                    match best {
-                        None => best = Some((i, p)),
-                        Some((_, bp)) if p > bp => best = Some((i, p)),
-                        _ => {}
-                    }
-                }
-                let (i, _) = best?;
-                self.run_queue.remove(i)
-            }
+        let threads = &self.threads;
+        self.run_queue.retain(|tid| threads[tid.index()].state == ThreadState::Ready);
+        if self.run_queue.is_empty() {
+            return None;
         }
+        let candidates: Vec<Candidate> = self
+            .run_queue
+            .iter()
+            .map(|&tid| Candidate {
+                tid,
+                effective_priority: threads[tid.index()].effective_priority,
+                base_priority: threads[tid.index()].base_priority,
+            })
+            .collect();
+        let ctx = SchedContext { last_dispatched: self.last_dispatched, clock: self.clock };
+        let idx = self.policy.choose(&candidates, &ctx).min(candidates.len() - 1);
+        self.run_queue.remove(idx)
     }
 
     fn wake_sleepers(&mut self) {
@@ -665,6 +690,75 @@ impl Vm {
         }
         Ok(())
     }
+}
+
+impl Vm {
+    // --- read-only introspection (exploration / invariant checking) ----
+
+    /// Current virtual-clock value.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// All green threads, indexed by [`ThreadId`].
+    pub fn vm_threads(&self) -> &[VmThread] {
+        &self.threads
+    }
+
+    /// The monitor table (every object ever synchronized on).
+    pub fn monitor_table(&self) -> &MonitorTable {
+        &self.monitors
+    }
+
+    /// The JMM-consistency guard's speculative-write map.
+    pub fn jmm_guard(&self) -> &JmmGuard {
+        &self.jmm
+    }
+
+    /// The run queue's current contents, front first.
+    pub fn run_queue_snapshot(&self) -> Vec<ThreadId> {
+        self.run_queue.iter().copied().collect()
+    }
+
+    /// Number of threads currently queued to run. A scheduling round can
+    /// only present a choice when this is at least 2, which lets callers
+    /// skip per-round work (e.g. state fingerprinting) on the long
+    /// single-runnable stretches of a program.
+    pub fn run_queue_len(&self) -> usize {
+        self.run_queue.len()
+    }
+
+    /// The thread holding / last holding a time slice.
+    pub fn last_dispatched(&self) -> Option<ThreadId> {
+        self.last_dispatched
+    }
+
+    /// Values emitted so far via `Native(Emit/Print)`.
+    pub fn output(&self) -> &[Value] {
+        &self.output
+    }
+
+    /// Number of `RandInt` draws performed so far.
+    pub fn rng_draws(&self) -> u64 {
+        self.rng_draws
+    }
+
+    /// The configuration this VM was built with.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+}
+
+/// What one scheduling round did (see [`Vm::run_round`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// A thread was dispatched for one time slice.
+    Ran(ThreadId),
+    /// Nothing was runnable: the clock jumped to the earliest sleeper's
+    /// deadline.
+    AdvancedClock,
+    /// Every thread has terminated.
+    Done,
 }
 
 /// What one interpreter step produced.

@@ -1,0 +1,376 @@
+//! Golden-trace pinning for the scheduler extraction.
+//!
+//! These tests freeze the *observable* behaviour of the round-robin and
+//! priority-preemptive schedulers — trace-event sequences, final clock,
+//! output order, and context-switch counts — as captured on the code
+//! before the dispatch logic moved into `sched.rs`. Any behavioural
+//! drift introduced by a scheduling refactor fails here first.
+//!
+//! To re-capture the goldens after an *intentional* semantic change:
+//!
+//! ```text
+//! cargo test -p revmon-vm --test sched_pinning -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed blocks over the `GOLDEN_*` constants.
+
+use revmon_core::Priority;
+use revmon_vm::builder::{MethodBuilder, ProgramBuilder};
+use revmon_vm::bytecode::{MethodId, Program};
+use revmon_vm::value::Value;
+use revmon_vm::{SchedulerKind, Vm, VmConfig};
+
+/// Three threads of distinct priorities bump a shared static inside a
+/// synchronized block, with enough spinning per iteration to force
+/// quantum expiries while a monitor is held — exercising contention,
+/// hand-off, and (under the modified config) revocation.
+fn contended_counter() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(1);
+    let run = pb.declare_method("run", 2); // arg0 = lock, arg1 = ordinal
+    let mut b = MethodBuilder::new(2, 3);
+    b.const_i(0);
+    b.store(2);
+    let top = b.here();
+    b.load(2);
+    b.const_i(6);
+    let done = b.new_label();
+    b.if_ge(done);
+    b.sync_on_local(0, |b| {
+        b.get_static(0);
+        b.const_i(1);
+        b.add();
+        b.put_static(0);
+        b.const_i(5_000);
+        b.work();
+    });
+    b.load(2);
+    b.const_i(1);
+    b.add();
+    b.store(2);
+    b.goto(top);
+    b.place(done);
+    b.load(1);
+    b.native(revmon_vm::bytecode::NativeOp::Emit);
+    b.ret_void();
+    pb.implement(run, b);
+    (pb.finish(), run)
+}
+
+/// One run summarized as printable, comparable lines.
+fn digest(vm: &mut Vm) -> Vec<String> {
+    let r = vm.run().expect("run completes");
+    let mut lines = Vec::new();
+    lines.push(format!("clock={}", r.clock));
+    lines.push(format!(
+        "output={:?}",
+        r.output
+            .iter()
+            .map(|v| match v {
+                Value::Int(i) => *i,
+                _ => i64::MIN,
+            })
+            .collect::<Vec<_>>()
+    ));
+    lines.push(format!(
+        "switches={} rollbacks={} acquires={} contended={}",
+        r.global.context_switches,
+        r.global.rollbacks,
+        r.global.monitor_acquires,
+        r.global.contended_acquires
+    ));
+    for rec in vm.take_trace() {
+        lines.push(format!("{}:{:?}", rec.at, rec.event));
+    }
+    lines
+}
+
+fn run_counter(kind: SchedulerKind) -> Vec<String> {
+    let (p, run) = contended_counter();
+    let mut cfg = VmConfig::modified().with_trace();
+    cfg.scheduler = kind;
+    let mut vm = Vm::new(p, cfg);
+    let lock = vm.heap_mut().alloc(0, 0);
+    let prios = [Priority::HIGH, Priority::LOW, Priority::NORM];
+    for (i, &prio) in prios.iter().enumerate() {
+        vm.spawn(&format!("t{i}"), run, vec![Value::Ref(lock), Value::Int(i as i64)], prio);
+    }
+    digest(&mut vm)
+}
+
+fn run_corpus(name: &str, kind: SchedulerKind) -> Vec<String> {
+    let path = format!("{}/../../programs/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("corpus program exists");
+    let program = revmon_vm::assemble(&src).expect("assembles");
+    let mut cfg = VmConfig::modified().with_trace();
+    cfg.scheduler = kind;
+    let mut vm = Vm::new(program.clone(), cfg);
+    let entry = program.method_by_name("main").expect("has main");
+    vm.spawn("main", entry, vec![], Priority::NORM);
+    digest(&mut vm)
+}
+
+fn assert_matches_golden(actual: &[String], golden: &str, what: &str) {
+    let expect: Vec<&str> = golden.trim().lines().map(|l| l.trim()).collect();
+    let got: Vec<&str> = actual.iter().map(|s| s.as_str()).collect();
+    assert_eq!(got, expect, "{what}: scheduler behaviour drifted from the pinned golden");
+}
+
+/// Prints the goldens in paste-ready form. Run with `--ignored`.
+#[test]
+#[ignore = "capture helper, not a check"]
+fn print_goldens() {
+    for (label, lines) in [
+        ("COUNTER_RR", run_counter(SchedulerKind::RoundRobin)),
+        ("COUNTER_PRIO", run_counter(SchedulerKind::PriorityPreemptive)),
+        ("INVERSION_RR", run_corpus("priority_inversion.rvm", SchedulerKind::RoundRobin)),
+        ("DEADLOCK_RR", run_corpus("deadlock.rvm", SchedulerKind::RoundRobin)),
+    ] {
+        println!("const GOLDEN_{label}: &str = r#\"");
+        for l in lines {
+            println!("{l}");
+        }
+        println!("\"#;");
+    }
+}
+
+const GOLDEN_COUNTER_RR: &str = r#"
+clock=94748
+output=[0, 2, 1]
+switches=20 rollbacks=7 acquires=25 contended=16
+128:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+5162:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+5162:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+5193:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+10227:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+10227:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+10258:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+15292:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+15292:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+15323:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+20463:Block { thread: ThreadId(1), monitor: ObjRef(0) }
+20591:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+20713:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+20713:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+20713:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+20744:Block { thread: ThreadId(0), monitor: ObjRef(0) }
+20744:RevokeRequest { by: ThreadId(0), holder: ThreadId(2), monitor: ObjRef(0) }
+20944:Rollback { thread: ThreadId(2), monitor: ObjRef(0), entries: 0 }
+20944:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+20944:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+21066:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+26200:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+26200:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+26200:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+26231:Block { thread: ThreadId(0), monitor: ObjRef(0) }
+26231:RevokeRequest { by: ThreadId(0), holder: ThreadId(2), monitor: ObjRef(0) }
+26431:Rollback { thread: ThreadId(2), monitor: ObjRef(0), entries: 0 }
+26431:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+26431:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+26553:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+31687:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+31687:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+31687:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+36832:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+36832:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+36832:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+36863:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+36863:RevokeRequest { by: ThreadId(2), holder: ThreadId(1), monitor: ObjRef(0) }
+37063:Rollback { thread: ThreadId(1), monitor: ObjRef(0), entries: 0 }
+37063:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+37063:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+37185:Block { thread: ThreadId(1), monitor: ObjRef(0) }
+42319:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+42319:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+42319:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+42350:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+42350:RevokeRequest { by: ThreadId(2), holder: ThreadId(1), monitor: ObjRef(0) }
+42550:Rollback { thread: ThreadId(1), monitor: ObjRef(0), entries: 0 }
+42550:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+42550:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+42672:Block { thread: ThreadId(1), monitor: ObjRef(0) }
+47806:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+47806:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+47806:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+47837:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+47837:RevokeRequest { by: ThreadId(2), holder: ThreadId(1), monitor: ObjRef(0) }
+48037:Rollback { thread: ThreadId(1), monitor: ObjRef(0), entries: 0 }
+48037:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+48037:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+48159:Block { thread: ThreadId(1), monitor: ObjRef(0) }
+53293:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+53293:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+53293:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+53324:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+53324:RevokeRequest { by: ThreadId(2), holder: ThreadId(1), monitor: ObjRef(0) }
+53524:Rollback { thread: ThreadId(1), monitor: ObjRef(0), entries: 0 }
+53524:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+53524:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+53646:Block { thread: ThreadId(1), monitor: ObjRef(0) }
+58780:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+58780:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+58780:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+58811:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+58811:RevokeRequest { by: ThreadId(2), holder: ThreadId(1), monitor: ObjRef(0) }
+59011:Rollback { thread: ThreadId(1), monitor: ObjRef(0), entries: 0 }
+59011:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+59011:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+59133:Block { thread: ThreadId(1), monitor: ObjRef(0) }
+64267:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+64267:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+64267:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+69412:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+69412:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+69443:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+74477:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+74477:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+74508:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+79542:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+79542:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+79573:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+84607:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+84607:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+84638:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+89672:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+89672:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+89703:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+94737:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+94737:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+"#;
+
+const GOLDEN_COUNTER_PRIO: &str = r#"
+clock=91494
+output=[0, 2, 1]
+switches=3 rollbacks=0 acquires=18 contended=0
+128:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+5162:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+5162:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+5193:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+10227:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+10227:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+10258:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+15292:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+15292:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+15323:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+20357:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+20357:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+20388:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+25422:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+25422:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+25453:Acquire { thread: ThreadId(0), monitor: ObjRef(0) }
+30487:Commit { thread: ThreadId(0), monitor: ObjRef(0) }
+30487:Release { thread: ThreadId(0), monitor: ObjRef(0) }
+30626:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+35660:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+35660:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+35691:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+40725:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+40725:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+40756:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+45790:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+45790:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+45821:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+50855:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+50855:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+50886:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+55920:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+55920:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+55951:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+60985:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+60985:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+61124:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+66158:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+66158:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+66189:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+71223:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+71223:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+71254:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+76288:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+76288:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+76319:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+81353:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+81353:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+81384:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+86418:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+86418:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+86449:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+91483:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+91483:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+"#;
+
+const GOLDEN_INVERSION_RR: &str = r#"
+clock=968123
+output=[7140]
+switches=11 rollbacks=1 acquires=3 contended=2
+232:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+60573:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+60573:RevokeRequest { by: ThreadId(2), holder: ThreadId(1), monitor: ObjRef(0) }
+67441:Rollback { thread: ThreadId(1), monitor: ObjRef(0), entries: 3334 }
+67441:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+67441:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+67563:Block { thread: ThreadId(1), monitor: ObjRef(0) }
+67688:Commit { thread: ThreadId(2), monitor: ObjRef(0) }
+67688:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+67688:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+968021:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+968021:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+"#;
+
+const GOLDEN_DEADLOCK_RR: &str = r#"
+clock=723480
+output=[2]
+switches=30 rollbacks=1 acquires=5 contended=2
+236:Acquire { thread: ThreadId(1), monitor: ObjRef(0) }
+20337:Acquire { thread: ThreadId(2), monitor: ObjRef(1) }
+482665:Block { thread: ThreadId(1), monitor: ObjRef(1) }
+482815:Block { thread: ThreadId(2), monitor: ObjRef(0) }
+482815:DeadlockDetected { cycle_len: 2 }
+482815:DeadlockBroken { victim: ThreadId(2) }
+483015:Rollback { thread: ThreadId(2), monitor: ObjRef(1), entries: 0 }
+483015:Release { thread: ThreadId(2), monitor: ObjRef(1) }
+483015:Acquire { thread: ThreadId(1), monitor: ObjRef(1) }
+483147:Release { thread: ThreadId(1), monitor: ObjRef(1) }
+483169:Commit { thread: ThreadId(1), monitor: ObjRef(0) }
+483169:Release { thread: ThreadId(1), monitor: ObjRef(0) }
+483292:Acquire { thread: ThreadId(2), monitor: ObjRef(1) }
+723320:Acquire { thread: ThreadId(2), monitor: ObjRef(0) }
+723352:Release { thread: ThreadId(2), monitor: ObjRef(0) }
+723374:Commit { thread: ThreadId(2), monitor: ObjRef(1) }
+723374:Release { thread: ThreadId(2), monitor: ObjRef(1) }
+"#;
+
+#[test]
+fn round_robin_counter_trace_is_pinned() {
+    assert_matches_golden(
+        &run_counter(SchedulerKind::RoundRobin),
+        GOLDEN_COUNTER_RR,
+        "round-robin contended counter",
+    );
+}
+
+#[test]
+fn priority_preemptive_counter_trace_is_pinned() {
+    assert_matches_golden(
+        &run_counter(SchedulerKind::PriorityPreemptive),
+        GOLDEN_COUNTER_PRIO,
+        "priority-preemptive contended counter",
+    );
+}
+
+#[test]
+fn priority_inversion_corpus_trace_is_pinned() {
+    assert_matches_golden(
+        &run_corpus("priority_inversion.rvm", SchedulerKind::RoundRobin),
+        GOLDEN_INVERSION_RR,
+        "priority_inversion.rvm",
+    );
+}
+
+#[test]
+fn deadlock_corpus_trace_is_pinned() {
+    assert_matches_golden(
+        &run_corpus("deadlock.rvm", SchedulerKind::RoundRobin),
+        GOLDEN_DEADLOCK_RR,
+        "deadlock.rvm",
+    );
+}

@@ -3,12 +3,25 @@
 //! the facade crate's re-exports.
 
 use revmon::core::Priority;
-use revmon::locks::{RevocableMonitor, TCell};
+use revmon::locks::{RevocableMonitor, TCell, VolatileCell};
 use revmon::vm::builder::{MethodBuilder, ProgramBuilder};
 use revmon::vm::value::Value;
 use revmon::vm::{Vm, VmConfig};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
+
+/// Assemble a corpus `.rvm` program and run it to its emitted output on
+/// the modified VM.
+fn run_corpus_vm(name: &str) -> Vec<Value> {
+    let path = format!("{}/programs/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let program = revmon::vm::assemble(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let entry = program.method_by_name("main").expect("main exists");
+    let mut vm = Vm::new(program, VmConfig::modified());
+    vm.spawn("main", entry, vec![], Priority::NORM);
+    vm.run().unwrap_or_else(|e| panic!("{name}: VM fault: {e}")).output
+}
 
 const THREADS: usize = 4;
 const SECTIONS: i64 = 10;
@@ -111,6 +124,130 @@ fn facade_reexports_are_usable() {
     let _m = revmon::locks::RevocableMonitor::new();
     let _c = revmon::vm::VmConfig::modified();
     let _u = revmon::vm::VmConfig::unmodified();
+}
+
+/// The nested-wait adversary (`programs/nested_wait_revoke.rvm`) on real
+/// threads: a sleeper holds an outer monitor across a `wait` on a nested
+/// inner monitor while a high-priority thread contends for the outer
+/// lock. Both runtimes must refuse to revoke across the wait (the inner
+/// release would otherwise be un-undoable) and still commit each counter
+/// exactly once.
+#[test]
+fn nested_wait_workload_agrees_across_runtimes() {
+    assert_eq!(
+        run_corpus_vm("nested_wait_revoke.rvm"),
+        vec![Value::Int(1), Value::Int(1)],
+        "VM: each counter commits exactly once"
+    );
+
+    let outer = Arc::new(RevocableMonitor::new());
+    let inner = Arc::new(RevocableMonitor::new());
+    let s0 = TCell::new(0i64);
+    let s1 = TCell::new(0i64);
+    let flag = TCell::new(false);
+
+    let sleeper = {
+        let (outer, inner) = (Arc::clone(&outer), Arc::clone(&inner));
+        let (s0, s1, flag) = (s0.clone(), s1.clone(), flag.clone());
+        thread::spawn(move || {
+            outer.enter(Priority::LOW, |txo| {
+                txo.update(&s0, |v| v + 1);
+                inner.enter(Priority::LOW, |txi| {
+                    while !txi.read(&flag) {
+                        txi.wait();
+                    }
+                });
+                txo.update(&s1, |v| v + 1);
+            });
+        })
+    };
+    let high = {
+        let (outer, s0) = (Arc::clone(&outer), s0.clone());
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            outer.enter(Priority::HIGH, |tx| {
+                let _ = tx.read(&s0);
+            });
+        })
+    };
+    let waker = {
+        let (inner, flag) = (Arc::clone(&inner), flag.clone());
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            inner.enter(Priority::NORM, |tx| {
+                tx.write(&flag, true);
+                tx.notify_all();
+            });
+        })
+    };
+    for h in [sleeper, high, waker] {
+        h.join().unwrap();
+    }
+    assert_eq!(s0.read_unsynchronized(), 1, "locks: outer counter commits once");
+    assert_eq!(s1.read_unsynchronized(), 1, "locks: post-wait counter commits once");
+}
+
+/// The volatile-publish adversary (`programs/volatile_revoke.rvm`) on
+/// real threads: a low-priority holder publishes through a volatile
+/// mid-section, pinning the section non-revocable, while a lock-free spy
+/// reads the plain cell the moment the publish lands. In both runtimes
+/// the spy can never observe a value that is later rolled back.
+#[test]
+fn volatile_publish_workload_agrees_across_runtimes() {
+    assert_eq!(
+        run_corpus_vm("volatile_revoke.rvm"),
+        vec![Value::Int(42), Value::Int(42)],
+        "VM: the published value commits and the spy agrees"
+    );
+
+    let m = Arc::new(RevocableMonitor::new());
+    let s0 = TCell::new(0i64);
+    let published = Arc::new(VolatileCell::new(0));
+
+    let low = {
+        let (m, s0, published) = (Arc::clone(&m), s0.clone(), Arc::clone(&published));
+        thread::spawn(move || {
+            m.enter(Priority::LOW, |tx| {
+                tx.write(&s0, 41);
+                tx.write_volatile(&published, 1);
+                tx.write(&s0, 42);
+                for _ in 0..100 {
+                    tx.checkpoint();
+                }
+            });
+        })
+    };
+    let spy = {
+        let (s0, published) = (s0.clone(), Arc::clone(&published));
+        thread::spawn(move || {
+            while published.load() == 0 {
+                std::hint::spin_loop();
+            }
+            s0.read_unsynchronized()
+        })
+    };
+    let high = {
+        let (m, s0) = (Arc::clone(&m), s0.clone());
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(2));
+            m.enter(Priority::HIGH, |tx| {
+                let _ = tx.read(&s0);
+            });
+        })
+    };
+
+    low.join().unwrap();
+    high.join().unwrap();
+    let snapshot = spy.join().unwrap();
+    // Once the volatile publish lands the section cannot roll back, so
+    // the spy sees a value from the publishing execution — never the
+    // pre-section value resurrected by an illegal rollback.
+    assert!(
+        snapshot == 41 || snapshot == 42,
+        "spy must never observe a rolled-back value (saw {snapshot})"
+    );
+    assert_eq!(s0.read_unsynchronized(), 42, "locks: the final write commits");
+    assert!(m.stats().nonrevocable_marks >= 1, "the publish must pin the section");
 }
 
 #[test]
