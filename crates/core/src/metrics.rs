@@ -70,6 +70,9 @@ define_metrics! {
     log_entries,
     /// Write-barrier fast-path executions (every store on modified VM).
     barrier_fast_paths,
+    /// Write-barrier slow-path executions (in-section stores that logged
+    /// an undo entry and went through the JMM guard).
+    barrier_slow_paths,
     /// Stores that skipped the barrier thanks to static elision.
     barriers_elided,
     /// Revocations requested (holder flagged by a higher-priority thread).

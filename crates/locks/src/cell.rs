@@ -9,36 +9,80 @@
 //! observe a speculative value, so rollback can never manufacture
 //! out-of-thin-air reads.
 //!
+//! Storage is a single small mutex around the live value *and* a pooled
+//! stash of displaced old values: the write barrier swaps the new value
+//! in and pushes the old one onto the stash in the same (uncontended)
+//! lock hold. Both the stash and the thread's undo log retain their
+//! capacity across sections, so a logged write performs **no heap
+//! allocation** in steady state. Correct use keeps each cell
+//! consistently protected by one monitor (the paper's
+//! data-protected-by-its-lock discipline) — misuse is memory-safe but,
+//! exactly as with the previous `Arc<Mutex<T>>` storage, can observe
+//! speculative values.
+//!
 //! [`VolatileCell`] is the deliberate escape hatch, mirroring Java
 //! `volatile` (Fig. 3): it is readable *without* a monitor at any time.
 //! Consequently, writing one inside a synchronized section immediately
 //! publishes the value, and the library responds exactly as the paper
 //! prescribes — the enclosing sections become **non-revocable**.
 
+use crate::tx::UndoSink;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+
+/// Live value plus the stash of displaced old values (oldest first).
+/// The stash is popped newest-first by rollback, or retired entry by
+/// entry at the outermost commit; its capacity is the pool that makes
+/// logged writes allocation-free.
+pub(crate) struct CellState<T> {
+    pub(crate) value: T,
+    stash: Vec<T>,
+}
+
+/// Shared storage behind a [`TCell`]; doubles as its own undo-log entry
+/// (the log records an `Arc<CellCore>` per write — a refcount bump, not
+/// a boxed closure).
+pub(crate) struct CellCore<T> {
+    pub(crate) state: Mutex<CellState<T>>,
+}
+
+impl<T: Send> UndoSink for CellCore<T> {
+    fn restore_one(&self) {
+        let mut s = self.state.lock();
+        if let Some(old) = s.stash.pop() {
+            s.value = old;
+        }
+    }
+
+    fn forget_one(&self) {
+        // Pop-and-drop keeps the stash aligned with the undo log while
+        // retaining the buffer's capacity for the next section.
+        self.state.lock().stash.pop();
+    }
+}
 
 /// A revocable cell holding a `T`. Cheap to clone (shared handle).
 ///
 /// All access goes through [`Tx::read`](crate::tx::Tx::read) /
 /// [`Tx::write`](crate::tx::Tx::write); the cell itself exposes only
 /// construction and (for tests/reporting) a post-synchronization snapshot.
-#[derive(Debug)]
 pub struct TCell<T> {
-    pub(crate) inner: Arc<Mutex<T>>,
+    pub(crate) core: Arc<CellCore<T>>,
 }
 
 impl<T> Clone for TCell<T> {
     fn clone(&self) -> Self {
-        TCell { inner: Arc::clone(&self.inner) }
+        TCell { core: Arc::clone(&self.core) }
     }
 }
 
 impl<T> TCell<T> {
     /// A new cell with the given initial value.
     pub fn new(value: T) -> Self {
-        TCell { inner: Arc::new(Mutex::new(value)) }
+        TCell {
+            core: Arc::new(CellCore { state: Mutex::new(CellState { value, stash: Vec::new() }) }),
+        }
     }
 }
 
@@ -51,7 +95,40 @@ impl<T: Clone> TCell<T> {
     /// observe a speculative one if misused while a section is live —
     /// which is why it is named the way it is.
     pub fn read_unsynchronized(&self) -> T {
-        self.inner.lock().clone()
+        self.core.state.lock().value.clone()
+    }
+
+    /// Current value (barrier internals; the caller is the yield point).
+    pub(crate) fn get(&self) -> T {
+        self.core.state.lock().value.clone()
+    }
+
+    /// The write barrier's storage half: swap `v` in, stash the old
+    /// value for rollback. One uncontended lock hold, no allocation once
+    /// the stash has warmed up.
+    pub(crate) fn stash_and_set(&self, v: T) {
+        let mut s = self.core.state.lock();
+        let old = std::mem::replace(&mut s.value, v);
+        s.stash.push(old);
+    }
+
+    /// Number of stashed (still-revocable) old values — test visibility.
+    #[cfg(test)]
+    pub(crate) fn stash_len(&self) -> usize {
+        self.core.state.lock().stash.len()
+    }
+}
+
+impl<T: Send + 'static> TCell<T> {
+    /// This cell's undo-log entry: just a refcount bump.
+    pub(crate) fn undo_entry(&self) -> crate::tx::UndoEntry {
+        Arc::clone(&self.core) as crate::tx::UndoEntry
+    }
+}
+
+impl<T: Clone + std::fmt::Debug> std::fmt::Debug for TCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("TCell").field(&self.read_unsynchronized()).finish()
     }
 }
 
@@ -102,8 +179,32 @@ mod tests {
     fn tcell_clone_shares_storage() {
         let a = TCell::new(1);
         let b = a.clone();
-        *a.inner.lock() = 5;
+        a.core.state.lock().value = 5;
         assert_eq!(b.read_unsynchronized(), 5);
+    }
+
+    #[test]
+    fn stash_and_restore_round_trip() {
+        let c = TCell::new(1i64);
+        c.stash_and_set(2);
+        c.stash_and_set(3);
+        assert_eq!(c.read_unsynchronized(), 3);
+        c.core.restore_one();
+        assert_eq!(c.read_unsynchronized(), 2);
+        c.core.restore_one();
+        assert_eq!(c.read_unsynchronized(), 1);
+        // Empty stash: restore is a no-op, not a panic.
+        c.core.restore_one();
+        assert_eq!(c.read_unsynchronized(), 1);
+    }
+
+    #[test]
+    fn forget_retires_without_changing_value() {
+        let c = TCell::new(1i64);
+        c.stash_and_set(2);
+        c.core.forget_one();
+        assert_eq!(c.read_unsynchronized(), 2);
+        assert_eq!(c.stash_len(), 0);
     }
 
     #[test]

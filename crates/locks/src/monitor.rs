@@ -14,6 +14,18 @@
 //! * **policy baselines** — plain blocking, queue-level priority
 //!   inheritance, and priority ceiling are available for comparison.
 //!
+//! # Thin and fat locks
+//!
+//! Like the Jikes RVM locking the paper builds on, the monitor is **thin
+//! by default**: a single `AtomicU64` lock word packs the owner's dense
+//! thread id, the recursion count, and the deposited priority, so an
+//! uncontended `enter` and `exit` are one CAS each — no OS mutex, no
+//! queue, no allocation. The word *inflates* to the full
+//! `Mutex<MState>` prioritized-queue representation only on contention,
+//! `wait`/`notify`, or revocation, and deflates back to thin once the
+//! queues drain. See `docs/INTERNALS.md` for the encoding and the
+//! inflation protocol.
+//!
 //! Closures passed to [`RevocableMonitor::enter`] may run multiple times;
 //! like any optimistic-execution API, side effects outside the `Tx` must
 //! be idempotent or deferred (use [`Tx::irrevocable`] for native-call-like
@@ -24,9 +36,10 @@ use crate::registry;
 use crate::signal::{as_rollback, RollbackSignal};
 use crate::stats::{MonitorStats, StatsSnapshot};
 use crate::tx::{self, SectionCtx, Tx};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use revmon_core::{InversionPolicy, Priority};
 use revmon_obs::EventKind;
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,13 +47,54 @@ use std::thread::{self, Thread};
 
 static NEXT_MONITOR_ID: AtomicU64 = AtomicU64::new(1);
 
+// ------------------------------------------------------------ lock word
+//
+// Bit layout of `RevocableMonitor::word`:
+//
+//   bits  0..32   owner dense thread id (0 = unowned)
+//   bits 32..48   recursion count (thin states hold >= 1)
+//   bits 48..56   deposited holder priority (the "monitor header"
+//                 priority of §4, readable by contenders without a lock)
+//   bit      63   INFLATED — the word is frozen and `state` is
+//                 authoritative
+//
+// Invariant: the word is either 0 (free, thin-acquirable), a thin
+// ownership record, or exactly `INFLATED`. Transitions out of 0/thin are
+// single CASes; `INFLATED` is only set while holding `state` and only
+// cleared (deflation) by a full release that leaves no queue, grant, or
+// wait-set entries.
+
+/// Word bit marking the monitor as inflated (fat).
+const INFLATED: u64 = 1 << 63;
+/// One recursion-count increment.
+const REC_ONE: u64 = 1 << 32;
+/// Maximum thin recursion depth; deeper nesting inflates.
+const REC_MAX: u64 = 0xFFFF;
+
+#[inline]
+fn pack_thin(dense: u32, rec: u64, prio: u8) -> u64 {
+    dense as u64 | (rec << 32) | ((prio as u64) << 48)
+}
+#[inline]
+fn thin_owner(w: u64) -> u32 {
+    w as u32
+}
+#[inline]
+fn thin_rec(w: u64) -> u64 {
+    (w >> 32) & REC_MAX
+}
+#[inline]
+fn thin_prio(w: u64) -> u8 {
+    (w >> 48) as u8
+}
+
 #[derive(Debug)]
 struct Waiter {
     handle: Thread,
     tid: thread::ThreadId,
     priority: Priority,
     seq: u64,
-    /// Observability id of the waiting thread (0 when tracing is off).
+    /// Observability id of the waiting thread.
     obs: u64,
 }
 
@@ -50,23 +104,35 @@ struct WaitSetEntry {
     notified: Arc<std::sync::atomic::AtomicBool>,
 }
 
-#[derive(Debug, Default)]
+/// Fat-monitor state; authoritative only while the word is `INFLATED`.
+#[derive(Default)]
 struct MState {
     owner: Option<thread::ThreadId>,
-    owner_handle: Option<Thread>,
+    /// Runtime slot of the owner: park handle, observability id, and the
+    /// cached revocation flag contenders raise alongside the section's.
+    owner_slot: Option<Arc<tx::ThreadSlot>>,
     /// Priority deposited in the "monitor header" at acquisition (§4).
     holder_priority: Priority,
     /// Active sections of the owner on this monitor, outermost first.
     holder_ctxs: Vec<Arc<SectionCtx>>,
-    /// Observability id of the owner (0 when tracing is off), so
-    /// contenders can attribute revoke-request events to the holder.
-    owner_obs: u64,
     recursion: u32,
     queue: Vec<Waiter>,
     /// Handoff token: the thread ownership was transferred to.
     grant: Option<thread::ThreadId>,
     next_seq: u64,
     wait_set: Vec<WaitSetEntry>,
+}
+
+impl std::fmt::Debug for MState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MState")
+            .field("owner", &self.owner)
+            .field("recursion", &self.recursion)
+            .field("queue_len", &self.queue.len())
+            .field("wait_set_len", &self.wait_set.len())
+            .field("grant", &self.grant)
+            .finish()
+    }
 }
 
 /// A monitor whose synchronized sections can be revoked to resolve
@@ -90,6 +156,9 @@ struct MState {
 pub struct RevocableMonitor {
     id: u64,
     policy: InversionPolicy,
+    /// Thin-lock word (see the module docs for the encoding).
+    word: AtomicU64,
+    /// Fat representation; authoritative only while `word` is inflated.
     state: Mutex<MState>,
     pub(crate) stats: Arc<MonitorStats>,
 }
@@ -114,6 +183,7 @@ impl RevocableMonitor {
         RevocableMonitor {
             id: NEXT_MONITOR_ID.fetch_add(1, Ordering::Relaxed),
             policy,
+            word: AtomicU64::new(0),
             state: Mutex::new(MState::default()),
             stats,
         }
@@ -126,7 +196,7 @@ impl RevocableMonitor {
 
     /// Counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.stats.reconciled_snapshot()
     }
 
     /// Execute `f` inside the monitor at `priority`.
@@ -141,8 +211,10 @@ impl RevocableMonitor {
         loop {
             let ctx = self.acquire(priority);
             let result = {
-                let mut tx = Tx { ctx: Arc::clone(&ctx), monitor: self };
-                catch_unwind(AssertUnwindSafe(|| f(&mut tx)))
+                let mut tx = Tx { ctx: &ctx, monitor: self, logged: Cell::new(0) };
+                let r = catch_unwind(AssertUnwindSafe(|| f(&mut tx)));
+                self.flush_logged(&tx);
+                r
             };
             match result {
                 Ok(r) => {
@@ -151,17 +223,9 @@ impl RevocableMonitor {
                 }
                 Err(payload) => {
                     if let Some(sig) = as_rollback(&*payload) {
-                        // Restore shared state *before* releasing (§3.1.2).
-                        let t0 = obs::enabled().then(obs::now_ns);
-                        let n = ctx.rollback();
-                        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
-                        self.stats.entries_rolled_back.fetch_add(n as u64, Ordering::Relaxed);
-                        if let Some(t0) = t0 {
-                            self.emit_rollback(n as u64, t0);
-                        }
-                        self.release(&ctx);
-                        let _ = tx::pop_section();
-                        if sig.target == ctx.id {
+                        let retry = sig.target == ctx.id;
+                        self.rollback_and_release(&ctx);
+                        if retry {
                             // This frame is the revocation target: retry.
                             // (Ownership was handed to the queue head —
                             // the high-priority thread — so our re-entry
@@ -201,8 +265,10 @@ impl RevocableMonitor {
         loop {
             let ctx = self.try_acquire(priority)?;
             let result = {
-                let mut tx = Tx { ctx: Arc::clone(&ctx), monitor: self };
-                catch_unwind(AssertUnwindSafe(|| f(&mut tx)))
+                let mut tx = Tx { ctx: &ctx, monitor: self, logged: Cell::new(0) };
+                let r = catch_unwind(AssertUnwindSafe(|| f(&mut tx)));
+                self.flush_logged(&tx);
+                r
             };
             match result {
                 Ok(r) => {
@@ -211,16 +277,9 @@ impl RevocableMonitor {
                 }
                 Err(payload) => {
                     if let Some(sig) = as_rollback(&*payload) {
-                        let t0 = obs::enabled().then(obs::now_ns);
-                        let n = ctx.rollback();
-                        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
-                        self.stats.entries_rolled_back.fetch_add(n as u64, Ordering::Relaxed);
-                        if let Some(t0) = t0 {
-                            self.emit_rollback(n as u64, t0);
-                        }
-                        self.release(&ctx);
-                        let _ = tx::pop_section();
-                        if sig.target == ctx.id {
+                        let retry = sig.target == ctx.id;
+                        self.rollback_and_release(&ctx);
+                        if retry {
                             continue; // retry without blocking
                         }
                         resume_unwind(payload);
@@ -232,37 +291,87 @@ impl RevocableMonitor {
         }
     }
 
-    /// Take the monitor only if free (or reentrant). No queueing.
-    fn try_acquire(&self, priority: Priority) -> Option<Arc<SectionCtx>> {
-        let me = thread::current();
-        let eff = self.effective(priority);
-        let mut s = self.state.lock();
-        if s.owner == Some(me.id()) {
-            s.recursion += 1;
-            let ctx = SectionCtx::new(self.id);
-            s.holder_ctxs.push(Arc::clone(&ctx));
-            drop(s);
-            tx::push_section(Arc::clone(&ctx));
-            self.stats.acquires.fetch_add(1, Ordering::Relaxed);
-            obs::emit(self.id, EventKind::Acquire);
-            return Some(ctx);
-        }
-        if s.owner.is_some() || s.grant.is_some() {
+    // ------------------------------------------------------------ fast path
+
+    /// One-CAS acquisition: claim a free word, or bump the recursion of a
+    /// word we already own thin. `None` ⇒ take the slow path.
+    #[inline]
+    fn fast_enter(&self, eff: Priority) -> Option<Arc<SectionCtx>> {
+        let w = self.word.load(Ordering::Relaxed);
+        if w == 0 {
+            // Push the section *before* publishing ownership: an
+            // inflating contender finds holder sections through our
+            // stack, so the stack must already contain this section by
+            // the time the CAS makes us visible as the owner.
+            let ctx = tx::begin_section(self.id);
+            let dense = tx::my_dense();
+            if self
+                .word
+                .compare_exchange(
+                    0,
+                    pack_thin(dense, 1, eff.level()),
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                self.note_thin_acquire();
+                return Some(ctx);
+            }
+            tx::abandon_section(&ctx);
             return None;
         }
-        s.owner = Some(me.id());
-        s.owner_handle = Some(me.clone());
-        s.owner_obs = if obs::enabled() { obs::obs_tid() } else { 0 };
-        s.recursion = 1;
-        s.holder_priority = eff;
-        let ctx = SectionCtx::new(self.id);
-        s.holder_ctxs = vec![Arc::clone(&ctx)];
-        drop(s);
-        tx::push_section(Arc::clone(&ctx));
-        registry::on_acquire(self.id, me, eff, Arc::clone(&ctx));
-        self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+        if w & INFLATED == 0 && thin_rec(w) < REC_MAX && thin_owner(w) == tx::my_dense() {
+            // Reentrant: same push-before-CAS ordering; the original
+            // deposited priority is kept (outermost acquisition rules).
+            let ctx = tx::begin_section(self.id);
+            if self
+                .word
+                .compare_exchange(w, w + REC_ONE, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.note_thin_acquire();
+                return Some(ctx);
+            }
+            tx::abandon_section(&ctx);
+        }
+        None
+    }
+
+    #[inline]
+    fn note_thin_acquire(&self) {
+        // One RMW: `thin_acquires` alone. Snapshot read points fold it
+        // back into the public `acquires` total (`reconciled_snapshot`).
+        self.stats.thin_acquires.fetch_add(1, Ordering::Relaxed);
         obs::emit(self.id, EventKind::Acquire);
-        Some(ctx)
+    }
+
+    /// One-CAS release of a thin-owned word. Falls back to the slow path
+    /// when the word was inflated underneath us.
+    #[inline]
+    fn fast_release(&self, ctx: &Arc<SectionCtx>) {
+        let w = self.word.load(Ordering::Relaxed);
+        if w & INFLATED == 0 {
+            let rec = thin_rec(w);
+            let new = if rec > 1 { w - REC_ONE } else { 0 };
+            if self.word.compare_exchange(w, new, Ordering::Release, Ordering::Relaxed).is_ok() {
+                if rec == 1 {
+                    obs::emit(self.id, EventKind::Release);
+                }
+                return;
+            }
+        }
+        self.release_slow(ctx);
+    }
+
+    /// Flush the attempt's locally-counted log entries into the shared
+    /// counter (once per attempt, off the write hot path).
+    #[inline]
+    fn flush_logged(&self, tx: &Tx<'_>) {
+        let n = tx.logged.get();
+        if n > 0 {
+            self.stats.log_entries.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     // ------------------------------------------------------------ internals
@@ -279,22 +388,94 @@ impl RevocableMonitor {
     /// revoked while parked (deadlock victim / enclosing-section
     /// revocation).
     fn acquire(&self, priority: Priority) -> Arc<SectionCtx> {
-        let me = thread::current();
         let eff = self.effective(priority);
         if eff > priority {
             self.stats.priority_boosts.fetch_add(1, Ordering::Relaxed);
         }
-        let mut counted_contended = false;
-        let mut enqueued = false;
+        if let Some(ctx) = self.fast_enter(eff) {
+            return ctx;
+        }
+        self.acquire_slow(eff)
+    }
+
+    /// Inflate the monitor (idempotent) and return the state guard.
+    ///
+    /// Every slow-path entry to `state` goes through here: the guard is
+    /// only meaningful while the word is frozen `INFLATED`, and a
+    /// deflated word must be re-frozen *under the state lock* before any
+    /// `MState` field is trusted — otherwise a concurrent thin CAS could
+    /// claim ownership the fat state knows nothing about.
+    fn inflate(&self) -> MutexGuard<'_, MState> {
         let mut s = self.state.lock();
         loop {
-            // Reentrant fast path.
+            let w = self.word.load(Ordering::Acquire);
+            if w & INFLATED != 0 {
+                return s;
+            }
+            if w == 0 {
+                // Free: freeze an unowned word.
+                if self
+                    .word
+                    .compare_exchange(0, INFLATED, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.stats.inflations.fetch_add(1, Ordering::Relaxed);
+                    debug_assert!(s.owner.is_none(), "deflated word with fat owner");
+                    return s;
+                }
+                continue;
+            }
+            // Thin, held: freeze, then migrate the holder's state out of
+            // the word and its thread slot.
+            if self.word.compare_exchange(w, INFLATED, Ordering::AcqRel, Ordering::Relaxed).is_err()
+            {
+                continue;
+            }
+            self.stats.inflations.fetch_add(1, Ordering::Relaxed);
+            let rec = thin_rec(w) as usize;
+            let prio = Priority::new(thin_prio(w));
+            if let Some(owner_slot) = tx::slot_by_dense(thin_owner(w)) {
+                // `take(rec)`: the holder pushes sections before its
+                // enter-CAS and pops before its exit-CAS, so its stack
+                // may briefly hold one in-flight section beyond (or one
+                // short of) the frozen count; the word's count is the
+                // committed truth.
+                s.holder_ctxs = owner_slot
+                    .sections
+                    .lock()
+                    .iter()
+                    .filter(|c| c.monitor_id == self.id && !c.exited.load(Ordering::Acquire))
+                    .take(rec)
+                    .cloned()
+                    .collect();
+                s.owner = Some(owner_slot.handle.id());
+                s.recursion = rec as u32;
+                s.holder_priority = prio;
+                if let Some(outer) = s.holder_ctxs.first() {
+                    registry::on_acquire(self.id, Arc::clone(&owner_slot), prio, Arc::clone(outer));
+                }
+                s.owner_slot = Some(owner_slot);
+            }
+            return s;
+        }
+    }
+
+    /// Blocking acquisition through the inflated representation: the
+    /// seed prioritized-queue protocol, unchanged in semantics.
+    #[cold]
+    fn acquire_slow(&self, eff: Priority) -> Arc<SectionCtx> {
+        let slot = tx::my_slot();
+        let me = slot.handle.clone();
+        let mut counted_contended = false;
+        let mut enqueued = false;
+        let mut s = self.inflate();
+        loop {
+            // Reentrant path (inflated while we hold it).
             if s.owner == Some(me.id()) {
                 s.recursion += 1;
-                let ctx = SectionCtx::new(self.id);
+                let ctx = tx::begin_section(self.id);
                 s.holder_ctxs.push(Arc::clone(&ctx));
                 drop(s);
-                tx::push_section(Arc::clone(&ctx));
                 self.stats.acquires.fetch_add(1, Ordering::Relaxed);
                 obs::emit(self.id, EventKind::Acquire);
                 return ctx;
@@ -306,11 +487,9 @@ impl RevocableMonitor {
                     s.grant = None;
                 }
                 s.owner = Some(me.id());
-                s.owner_handle = Some(me.clone());
-                s.owner_obs = if obs::enabled() { obs::obs_tid() } else { 0 };
                 s.recursion = 1;
                 s.holder_priority = eff;
-                let ctx = SectionCtx::new(self.id);
+                let ctx = tx::begin_section(self.id);
                 s.holder_ctxs = vec![Arc::clone(&ctx)];
                 if enqueued {
                     s.queue.retain(|w| w.tid != me.id());
@@ -327,15 +506,16 @@ impl RevocableMonitor {
                         if top.priority > eff {
                             let by = top.obs;
                             ctx.revoke.store(true, Ordering::Release);
+                            slot.pending_revoke.store(true, Ordering::Release);
                             self.stats.revocations_requested.fetch_add(1, Ordering::Relaxed);
                             obs::emit(self.id, EventKind::RevokeRequest { by });
                         }
                     }
                 }
+                s.owner_slot = Some(Arc::clone(&slot));
                 drop(s);
-                tx::push_section(Arc::clone(&ctx));
                 registry::on_unblock(me.id());
-                registry::on_acquire(self.id, me.clone(), eff, Arc::clone(&ctx));
+                registry::on_acquire(self.id, Arc::clone(&slot), eff, Arc::clone(&ctx));
                 self.stats.acquires.fetch_add(1, Ordering::Relaxed);
                 obs::emit(self.id, EventKind::Acquire);
                 return ctx;
@@ -351,28 +531,40 @@ impl RevocableMonitor {
                     if eff > s.holder_priority {
                         if let Some(target) = s.holder_ctxs.first() {
                             if target.revocable() {
+                                // Section flag first, cached thread flag
+                                // second (both Release): the holder's
+                                // slow poll consumes the cached flag and
+                                // then scans, so this order guarantees
+                                // the scan sees the flagged section. The
+                                // cached flag is re-raised every loop
+                                // iteration in case a slow poll consumed
+                                // it without unwinding.
                                 if !target.revoke.swap(true, Ordering::AcqRel) {
                                     self.stats
                                         .revocations_requested
                                         .fetch_add(1, Ordering::Relaxed);
                                     if obs::enabled() {
+                                        let owner_obs = s.owner_slot.as_ref().map_or(0, |o| o.obs);
                                         obs::emit_for(
-                                            s.owner_obs,
+                                            owner_obs,
                                             self.id,
                                             EventKind::RevokeRequest { by: obs::obs_tid() },
                                         );
                                     }
                                 }
-                                // Wake the holder wherever it is parked so
-                                // it reaches a yield point promptly.
-                                if let Some(h) = &s.owner_handle {
-                                    h.unpark();
+                                if let Some(holder) = &s.owner_slot {
+                                    holder.pending_revoke.store(true, Ordering::Release);
+                                    // Wake the holder wherever it is
+                                    // parked so it reaches a yield point
+                                    // promptly.
+                                    holder.handle.unpark();
                                 }
                             } else {
                                 self.stats.inversions_unresolved.fetch_add(1, Ordering::Relaxed);
                                 if obs::enabled() {
+                                    let owner_obs = s.owner_slot.as_ref().map_or(0, |o| o.obs);
                                     obs::emit_for(
-                                        s.owner_obs,
+                                        owner_obs,
                                         self.id,
                                         EventKind::InversionUnresolved { by: obs::obs_tid() },
                                     );
@@ -400,7 +592,7 @@ impl RevocableMonitor {
                     tid: me.id(),
                     priority: eff,
                     seq,
-                    obs: if obs::enabled() { obs::obs_tid() } else { 0 },
+                    obs: slot.obs,
                 });
                 enqueued = true;
                 drop(s);
@@ -419,12 +611,54 @@ impl RevocableMonitor {
                     s2.grant = None;
                     self.grant_next(&mut s2);
                 }
+                self.maybe_deflate(&mut s2);
                 drop(s2);
                 registry::on_unblock(me.id());
                 resume_unwind(Box::new(RollbackSignal { target }));
             }
-            s = self.state.lock();
+            // Still queued or granted, so the word stayed inflated;
+            // `inflate()` degenerates to the plain lock.
+            s = self.inflate();
         }
+    }
+
+    /// Take the monitor only if free (or reentrant). No queueing, no
+    /// inflation when a stranger holds it thin.
+    fn try_acquire(&self, priority: Priority) -> Option<Arc<SectionCtx>> {
+        let eff = self.effective(priority);
+        if let Some(ctx) = self.fast_enter(eff) {
+            return Some(ctx);
+        }
+        let slot = tx::my_slot();
+        let w = self.word.load(Ordering::Acquire);
+        if w != 0 && w & INFLATED == 0 && thin_owner(w) != slot.dense {
+            return None; // thin, held by another thread: busy
+        }
+        let me = slot.handle.clone();
+        let mut s = self.inflate();
+        if s.owner == Some(me.id()) {
+            s.recursion += 1;
+            let ctx = tx::begin_section(self.id);
+            s.holder_ctxs.push(Arc::clone(&ctx));
+            drop(s);
+            self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+            obs::emit(self.id, EventKind::Acquire);
+            return Some(ctx);
+        }
+        if s.owner.is_some() || s.grant.is_some() {
+            return None;
+        }
+        s.owner = Some(me.id());
+        s.owner_slot = Some(Arc::clone(&slot));
+        s.recursion = 1;
+        s.holder_priority = eff;
+        let ctx = tx::begin_section(self.id);
+        s.holder_ctxs = vec![Arc::clone(&ctx)];
+        drop(s);
+        registry::on_acquire(self.id, slot, eff, Arc::clone(&ctx));
+        self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+        obs::emit(self.id, EventKind::Acquire);
+        Some(ctx)
     }
 
     /// Emit a `Rollback` event whose duration is measured from `t0`
@@ -434,26 +668,41 @@ impl RevocableMonitor {
         obs::emit(self.id, EventKind::Rollback { entries, duration });
     }
 
-    /// Commit the section's undo entries (into the parent section, or
-    /// discard at the outermost level) and release one recursion level.
+    /// Commit the section (retiring the undo entries if outermost) and
+    /// release one recursion level.
     fn commit_and_release(&self, ctx: &Arc<SectionCtx>) {
-        let popped = tx::pop_section();
-        debug_assert!(popped.map(|c| c.id) == Some(ctx.id), "unbalanced section stack");
-        let parent = tx::top_section();
-        ctx.commit_into(parent.as_deref());
-        self.stats.commits.fetch_add(1, Ordering::Relaxed);
-        if parent.is_none() {
+        // No commit counter here: `commits` is derived at snapshot time
+        // (acquires − rollbacks), keeping the uncontended exit at zero
+        // shared-counter RMWs.
+        let outermost = tx::commit_top_section(ctx);
+        if outermost {
             // Mirror the VM's trace semantics: one Commit per retired
             // undo log, i.e. per outermost section exit.
             obs::emit(self.id, EventKind::Commit);
         }
-        self.release(ctx);
+        self.fast_release(ctx);
     }
 
-    /// Release one recursion level; on full release hand off to the
-    /// highest-priority waiter.
-    fn release(&self, ctx: &Arc<SectionCtx>) {
-        let mut s = self.state.lock();
+    /// Restore shared state *before* releasing (§3.1.2), then release
+    /// one recursion level.
+    fn rollback_and_release(&self, ctx: &Arc<SectionCtx>) {
+        let t0 = obs::enabled().then(obs::now_ns);
+        let n = tx::rollback_section(ctx);
+        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+        self.stats.entries_rolled_back.fetch_add(n as u64, Ordering::Relaxed);
+        if let Some(t0) = t0 {
+            self.emit_rollback(n as u64, t0);
+        }
+        tx::exit_section(ctx);
+        self.fast_release(ctx);
+    }
+
+    /// Release one recursion level through the fat state; on full
+    /// release hand off to the highest-priority waiter and deflate once
+    /// nothing is queued, granted, or waiting.
+    #[cold]
+    fn release_slow(&self, ctx: &Arc<SectionCtx>) {
+        let mut s = self.inflate();
         if let Some(pos) = s.holder_ctxs.iter().position(|c| c.id == ctx.id) {
             s.holder_ctxs.remove(pos);
         }
@@ -461,15 +710,29 @@ impl RevocableMonitor {
         if s.recursion > 0 {
             return;
         }
-        s.owner = None;
-        s.owner_handle = None;
+        let owner = s.owner.take();
+        s.owner_slot = None;
+        s.holder_ctxs.clear();
         // Emit before handing off so the stream orders this Release ahead
         // of the grantee's Acquire (matches the VM: Release only on full
         // release).
         obs::emit(self.id, EventKind::Release);
         self.grant_next(&mut s);
+        self.maybe_deflate(&mut s);
         drop(s);
-        registry::on_release(self.id);
+        if let Some(owner) = owner {
+            registry::on_release(self.id, owner);
+        }
+    }
+
+    /// Deflate back to a thin word when the fat state holds nothing a
+    /// thin word cannot express. Caller must hold the state lock with
+    /// the word inflated.
+    fn maybe_deflate(&self, s: &mut MState) {
+        if s.owner.is_none() && s.grant.is_none() && s.queue.is_empty() && s.wait_set.is_empty() {
+            self.word.store(0, Ordering::Release);
+            self.stats.deflations.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Transfer ownership to the best waiter: highest priority, FIFO
@@ -498,29 +761,34 @@ impl RevocableMonitor {
         if flipped > 0 {
             obs::emit(self.id, EventKind::NonRevocable);
         }
-        let me = thread::current();
+        let slot = tx::my_slot();
+        let me = slot.handle.clone();
         let notified = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let (rec, saved_ctxs, prio) = {
-            let mut s = self.state.lock();
+            // Waiting needs the wait set, which only the fat state has.
+            let mut s = self.inflate();
             assert_eq!(s.owner, Some(me.id()), "wait on an unowned monitor");
             let rec = s.recursion;
             let prio = s.holder_priority;
             let saved = std::mem::take(&mut s.holder_ctxs);
             s.recursion = 0;
             s.owner = None;
-            s.owner_handle = None;
+            s.owner_slot = None;
             s.wait_set.push(WaitSetEntry { handle: me.clone(), notified: Arc::clone(&notified) });
             obs::emit(self.id, EventKind::Release);
             self.grant_next(&mut s);
             (rec, saved, prio)
         };
-        registry::on_release(self.id);
+        registry::on_release(self.id, me.id());
         while !notified.load(Ordering::Acquire) {
             thread::park();
         }
         // Re-acquire to the saved depth through the prioritized queue.
+        // `inflate()` each time around: the notifier may have deflated
+        // the monitor after emptying the wait set, and a re-frozen word
+        // is required before trusting the fat state.
         let mut enqueued = false;
-        let mut s = self.state.lock();
+        let mut s = self.inflate();
         loop {
             let granted = s.grant == Some(me.id());
             if granted || (s.owner.is_none() && s.grant.is_none()) {
@@ -528,8 +796,7 @@ impl RevocableMonitor {
                     s.grant = None;
                 }
                 s.owner = Some(me.id());
-                s.owner_handle = Some(me.clone());
-                s.owner_obs = if obs::enabled() { obs::obs_tid() } else { 0 };
+                s.owner_slot = Some(Arc::clone(&slot));
                 s.recursion = rec;
                 s.holder_priority = prio;
                 s.holder_ctxs = saved_ctxs;
@@ -538,7 +805,7 @@ impl RevocableMonitor {
                 }
                 drop(s);
                 registry::on_unblock(me.id());
-                registry::on_acquire(self.id, me, prio, Arc::clone(ctx));
+                registry::on_acquire(self.id, slot, prio, Arc::clone(ctx));
                 obs::emit(self.id, EventKind::Acquire);
                 return;
             }
@@ -550,7 +817,7 @@ impl RevocableMonitor {
                     tid: me.id(),
                     priority: prio,
                     seq,
-                    obs: if obs::enabled() { obs::obs_tid() } else { 0 },
+                    obs: slot.obs,
                 });
                 enqueued = true;
                 obs::emit(self.id, EventKind::Block);
@@ -560,12 +827,20 @@ impl RevocableMonitor {
                 drop(s);
             }
             thread::park();
-            s = self.state.lock();
+            s = self.inflate();
         }
     }
 
     /// Wake one or all waiters (they re-contend for the monitor).
     pub(crate) fn notify(&self, all: bool) {
+        let w = self.word.load(Ordering::Acquire);
+        if w & INFLATED == 0 {
+            // Thin ⇒ the wait set is empty (waiting inflates, and the
+            // monitor stays inflated while the wait set is non-empty):
+            // nothing to wake. Still enforce the ownership contract.
+            assert_eq!(thin_owner(w), tx::my_dense(), "notify on an unowned monitor");
+            return;
+        }
         let mut s = self.state.lock();
         assert_eq!(s.owner, Some(thread::current().id()), "notify on an unowned monitor");
         if all {
@@ -598,6 +873,8 @@ mod tests {
         assert_eq!(c.read_unsynchronized(), 5);
         let st = m.stats();
         assert_eq!(st.acquires, 1);
+        assert_eq!(st.thin_acquires, 1, "uncontended enter must stay thin");
+        assert_eq!(st.inflations, 0);
         assert_eq!(st.commits, 1);
         assert_eq!(st.rollbacks, 0);
     }
@@ -615,6 +892,7 @@ mod tests {
         });
         assert_eq!(c.read_unsynchronized(), 111);
         assert_eq!(m.stats().acquires, 2);
+        assert_eq!(m.stats().thin_acquires, 2, "reentrant enter must stay thin");
     }
 
     #[test]
@@ -632,5 +910,14 @@ mod tests {
         // monitor is free again
         m.enter(Priority::NORM, |tx| tx.write(&c, 8));
         assert_eq!(c.read_unsynchronized(), 8);
+    }
+
+    #[test]
+    fn word_packing_round_trips() {
+        let w = pack_thin(7, 3, Priority::HIGH.level());
+        assert_eq!(thin_owner(w), 7);
+        assert_eq!(thin_rec(w), 3);
+        assert_eq!(thin_prio(w), Priority::HIGH.level());
+        assert_eq!(w & INFLATED, 0);
     }
 }

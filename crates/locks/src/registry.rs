@@ -12,7 +12,7 @@
 
 use crate::obs;
 use crate::stats::{MonitorStats, StatsSnapshot};
-use crate::tx::SectionCtx;
+use crate::tx::{SectionCtx, ThreadSlot};
 use parking_lot::Mutex;
 use revmon_core::{MonitorId, Priority, ThreadId, WaitsForGraph};
 use revmon_obs::{Event, EventKind};
@@ -28,10 +28,10 @@ pub static DEADLOCKS_BROKEN: AtomicU64 = AtomicU64::new(0);
 
 struct HolderInfo {
     thread: ThreadId,
-    handle: Thread,
+    /// The holder's runtime slot: park handle, observability id, and the
+    /// cached revocation flag the breaker raises alongside the section's.
+    slot: Arc<ThreadSlot>,
     priority: Priority,
-    /// Observability id of the holder (0 when tracing is off).
-    obs: u64,
     /// Outermost section of the holder on this monitor — the revocation
     /// target for deadlock breaking.
     ctx: Arc<SectionCtx>,
@@ -66,24 +66,32 @@ fn mid(monitor_id: u64) -> MonitorId {
     MonitorId(monitor_id as u32)
 }
 
-/// Record that the current thread took ownership of `monitor_id`
+/// Record that `slot`'s thread took ownership of `monitor_id`
 /// (outermost acquisition only), and re-point stale waiter edges.
 pub(crate) fn on_acquire(
     monitor_id: u64,
-    handle: Thread,
+    slot: Arc<ThreadSlot>,
     priority: Priority,
     ctx: Arc<SectionCtx>,
 ) {
-    let obs = if obs::enabled() { obs::obs_tid() } else { 0 };
     let mut r = registry().lock();
-    let me = r.dense_id(handle.id());
-    r.holders.insert(monitor_id, HolderInfo { thread: me, handle, priority, obs, ctx });
+    let me = r.dense_id(slot.handle.id());
+    r.holders.insert(monitor_id, HolderInfo { thread: me, slot, priority, ctx });
     r.graph.retarget_monitor(mid(monitor_id), me);
 }
 
-/// Record full release of `monitor_id`.
-pub(crate) fn on_release(monitor_id: u64) {
-    registry().lock().holders.remove(&monitor_id);
+/// Record full release of `monitor_id` by `owner`. The owner guard
+/// closes a race with the next acquirer: the releaser reports here after
+/// dropping the monitor's state lock, by which time a successor may
+/// already have registered — removing unconditionally would erase the
+/// successor's entry.
+pub(crate) fn on_release(monitor_id: u64, owner: std::thread::ThreadId) {
+    let mut r = registry().lock();
+    if let Some(&id) = r.ids.get(&owner) {
+        if r.holders.get(&monitor_id).is_some_and(|h| h.thread == id) {
+            r.holders.remove(&monitor_id);
+        }
+    }
 }
 
 /// Record that `handle`'s thread blocked on `monitor_id`; detect and
@@ -127,10 +135,14 @@ pub(crate) fn on_block(monitor_id: u64, handle: Thread, _priority: Priority) -> 
         return false; // unbreakable (all non-revocable): threads stay blocked
     };
     let h = r.holders.get(&victim_monitor).expect("candidate came from holders");
+    // Section flag before the cached thread flag (both Release): the
+    // victim's slow poll consumes the cached flag and then scans, so
+    // this order guarantees the scan sees the flagged section.
     h.ctx.revoke.store(true, Ordering::Release);
-    h.handle.unpark();
+    h.slot.pending_revoke.store(true, Ordering::Release);
+    h.slot.handle.unpark();
     DEADLOCKS_BROKEN.fetch_add(1, Ordering::Relaxed);
-    obs::emit_for(h.obs, victim_monitor, EventKind::DeadlockBroken);
+    obs::emit_for(h.slot.obs, victim_monitor, EventKind::DeadlockBroken);
     true
 }
 
@@ -152,7 +164,7 @@ pub fn aggregate_snapshot() -> StatsSnapshot {
     let mut total = StatsSnapshot::default();
     for w in reg.iter() {
         if let Some(s) = w.upgrade() {
-            total.merge(&s.snapshot());
+            total.merge(&s.reconciled_snapshot());
         }
     }
     total

@@ -52,9 +52,37 @@ macro_rules! define_stats {
     };
 }
 
+impl MonitorStats {
+    /// Snapshot with the fast-path split folded back together.
+    ///
+    /// The thin-lock fast path bumps only `thin_acquires` (one counter
+    /// RMW per acquire instead of two); the internal `acquires` atomic
+    /// counts fat-path acquisitions alone. `commits` is derived rather
+    /// than counted: every counted acquisition ends in exactly one
+    /// commit or rollback (revocation retries re-count the acquisition),
+    /// so at quiescence `commits = acquires − rollbacks` — and the
+    /// uncontended exit path touches no shared counter at all. Every
+    /// external read goes through here so the public fields keep their
+    /// documented meanings.
+    pub(crate) fn reconciled_snapshot(&self) -> StatsSnapshot {
+        let mut s = self.snapshot();
+        s.acquires += s.thin_acquires;
+        s.commits = s.acquires.saturating_sub(s.rollbacks);
+        s
+    }
+}
+
 define_stats! {
     /// Successful acquisitions (uncontended + granted + reentrant).
     acquires,
+    /// Acquisitions that completed on the thin-lock fast path (one CAS,
+    /// no state lock). `acquires - thin_acquires` went through the fat
+    /// (inflated) path.
+    thin_acquires,
+    /// Thin→fat transitions (contention, wait/notify, or revocation).
+    inflations,
+    /// Fat→thin transitions after the queues drained.
+    deflations,
     /// Blocking episodes on the entry queue.
     contended,
     /// Revocation flags raised against holders of this monitor.
@@ -63,7 +91,9 @@ define_stats! {
     rollbacks,
     /// Undo entries restored by those rollbacks.
     entries_rolled_back,
-    /// Sections committed.
+    /// Sections committed. Derived at snapshot read points as
+    /// `acquires − rollbacks` (exact at quiescence); the atomic itself
+    /// stays zero so the commit fast path pays no shared-counter RMW.
     commits,
     /// Inversions left unresolved (holder non-revocable).
     inversions_unresolved,

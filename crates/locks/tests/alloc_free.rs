@@ -1,0 +1,126 @@
+//! Steady-state allocation test: after one warmup pass has populated the
+//! per-thread pools (section contexts, undo-log buffer, cell stashes),
+//! the uncontended enter → logged-write → commit cycle must perform
+//! **zero heap allocations** — the tentpole claim of the hot-path
+//! overhaul. A counting `#[global_allocator]` proves it.
+//!
+//! The same file also checks the pooled rollback end to end: a revoked
+//! section's writes (including repeated writes to one cell) are restored
+//! newest-first, so the retry observes exactly the pre-section values.
+//!
+//! Kept as a single `#[test]` on purpose: the allocation counter is
+//! process-global, and a sibling test running on another harness thread
+//! would pollute the count.
+
+use revmon_core::Priority;
+use revmon_locks::{RevocableMonitor, TCell};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// `System`, plus a counter armed only inside the measured window.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn steady_state_makes_no_allocations() {
+    let m = RevocableMonitor::new();
+    let a = TCell::new(0i64);
+    let b = TCell::new(0i64);
+    let workload = |i: i64| {
+        m.enter(Priority::NORM, |tx| {
+            tx.write(&a, i);
+            tx.update(&b, |v| v + i);
+            let _ = tx.read(&a);
+            m.enter(Priority::NORM, |tx2| {
+                tx2.write(&a, i + 1);
+            });
+        });
+    };
+    // Warmup: grows the undo log, the cells' stash buffers, and the
+    // section-context pool to their steady-state capacity.
+    for i in 0..16 {
+        workload(i);
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for i in 0..1_000 {
+        workload(i);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(n, 0, "steady-state enter + logged write must not allocate (saw {n} allocations)");
+}
+
+fn rollback_restores_pre_section_values_newest_first() {
+    let m = Arc::new(RevocableMonitor::new());
+    let a = Arc::new(TCell::new(1i64));
+    let b = Arc::new(TCell::new(2i64));
+    let entered = Arc::new(Barrier::new(2));
+    let low = {
+        let m = Arc::clone(&m);
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        let entered = Arc::clone(&entered);
+        thread::spawn(move || {
+            let mut attempt = 0;
+            let mut seen_on_retry = None;
+            m.enter(Priority::LOW, |tx| {
+                attempt += 1;
+                if attempt > 1 {
+                    // The rollback drained a's stash [1, 10] newest-first
+                    // (30 → 10 → 1) and b's [2]; any ordering bug leaves
+                    // a at 10 or 30 here.
+                    seen_on_retry = Some((tx.read(&a), tx.read(&b)));
+                    return;
+                }
+                tx.write(&a, 10);
+                tx.write(&b, 20);
+                tx.write(&a, 30);
+                entered.wait();
+                loop {
+                    tx.checkpoint(); // revocation lands here
+                    std::hint::spin_loop();
+                }
+            });
+            seen_on_retry
+        })
+    };
+    entered.wait();
+    let high = m.enter(Priority::HIGH, |tx| (tx.read(&a), tx.read(&b)));
+    assert_eq!(high, (1, 2), "HIGH must see fully restored pre-section values");
+    assert_eq!(low.join().unwrap(), Some((1, 2)), "the retry starts from restored state");
+    let st = m.stats();
+    assert_eq!(st.rollbacks, 1);
+    assert_eq!(st.entries_rolled_back, 3, "three logged writes, three restores");
+}
+
+#[test]
+fn alloc_free_hot_path_and_pooled_rollback() {
+    steady_state_makes_no_allocations();
+    rollback_restores_pre_section_values_newest_first();
+}

@@ -1,0 +1,207 @@
+//! Thin/fat lock-word state-machine tests: the monitor must stay thin
+//! (one CAS per enter/exit, no state lock) until contention, waiting, or
+//! revocation forces inflation — and must deflate back to thin once the
+//! queues drain. Counter expectations pin the transitions:
+//! `thin_acquires` counts fast-path acquisitions, `inflations` /
+//! `deflations` count word transitions.
+
+use revmon_core::Priority;
+use revmon_locks::{RevocableMonitor, TCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Spin until `cond` holds (bounded; panics on timeout so a broken
+/// transition fails loudly instead of hanging CI).
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() < Duration::from_secs(10), "timed out waiting for {what}");
+        thread::yield_now();
+    }
+}
+
+#[test]
+fn recursive_thin_enter_never_inflates() {
+    let m = RevocableMonitor::new();
+    let c = TCell::new(0i64);
+    m.enter(Priority::NORM, |t1| {
+        t1.write(&c, 1);
+        m.enter(Priority::NORM, |t2| {
+            t2.update(&c, |v| v + 10);
+            m.enter(Priority::NORM, |t3| {
+                t3.update(&c, |v| v + 100);
+            });
+        });
+    });
+    assert_eq!(c.read_unsynchronized(), 111);
+    let st = m.stats();
+    assert_eq!(st.acquires, 3);
+    assert_eq!(st.thin_acquires, 3, "uncontended recursion must stay on the fast path");
+    assert_eq!(st.inflations, 0, "nothing here may inflate");
+    assert_eq!(st.deflations, 0);
+    assert_eq!(st.commits, 3);
+}
+
+#[test]
+fn wait_inflates_and_drain_deflates() {
+    let m = Arc::new(RevocableMonitor::new());
+    let entered = Arc::new(Barrier::new(2));
+    let waiter = {
+        let m = Arc::clone(&m);
+        let entered = Arc::clone(&entered);
+        thread::spawn(move || {
+            m.enter(Priority::NORM, |tx| {
+                // The notifier cannot enter until `wait` releases the
+                // monitor, and `wait` joins the wait set atomically with
+                // that release — so one notify after this barrier cannot
+                // be lost.
+                entered.wait();
+                tx.wait();
+            });
+        })
+    };
+    entered.wait();
+    m.enter(Priority::NORM, |tx| tx.notify_all());
+    waiter.join().unwrap();
+    let st = m.stats();
+    assert!(st.inflations >= 1, "wait needs the fat wait set: must inflate");
+    assert!(st.deflations >= 1, "all queues drained: must deflate");
+    // Post-drain the word is thin again: the next enter is a fast-path
+    // acquisition.
+    let thin_before = m.stats().thin_acquires;
+    m.enter(Priority::NORM, |_tx| {});
+    assert_eq!(m.stats().thin_acquires, thin_before + 1, "drained monitor must be thin again");
+}
+
+#[test]
+fn contention_inflates_and_drain_deflates() {
+    let m = Arc::new(RevocableMonitor::new());
+    let entered = Arc::new(Barrier::new(2));
+    let go = Arc::new(AtomicBool::new(false));
+    let holder = {
+        let m = Arc::clone(&m);
+        let entered = Arc::clone(&entered);
+        let go = Arc::clone(&go);
+        thread::spawn(move || {
+            m.enter(Priority::NORM, |tx| {
+                entered.wait();
+                while !go.load(Ordering::Acquire) {
+                    tx.checkpoint();
+                    std::hint::spin_loop();
+                }
+            });
+        })
+    };
+    entered.wait();
+    let contender = {
+        let m = Arc::clone(&m);
+        thread::spawn(move || {
+            m.enter(Priority::NORM, |_tx| {});
+        })
+    };
+    // The contender inflates the word on its way into the queue; only
+    // then release the holder, so the blocking path is really exercised.
+    {
+        let m = Arc::clone(&m);
+        wait_until("contender to inflate the monitor", move || m.stats().inflations >= 1);
+    }
+    go.store(true, Ordering::Release);
+    holder.join().unwrap();
+    contender.join().unwrap();
+    let st = m.stats();
+    assert_eq!(st.acquires, 2);
+    assert_eq!(st.thin_acquires, 1, "only the holder's uncontended enter is thin");
+    assert!(st.inflations >= 1);
+    assert!(st.deflations >= 1, "once both threads are done the word must deflate");
+    assert_eq!(st.contended, 1);
+    let thin_before = m.stats().thin_acquires;
+    m.enter(Priority::NORM, |_tx| {});
+    assert_eq!(m.stats().thin_acquires, thin_before + 1, "deflated monitor is thin again");
+}
+
+#[test]
+fn recursive_enter_while_inflated_keeps_recursion_exact() {
+    // The holder acquires thin, a contender inflates underneath it
+    // (migrating owner + recursion out of the word), and the holder then
+    // nests two more sections through the fat path. Every level must
+    // unwind cleanly and the contender must see the committed result.
+    let m = Arc::new(RevocableMonitor::new());
+    let c = Arc::new(TCell::new(0i64));
+    let entered = Arc::new(Barrier::new(2));
+    let holder = {
+        let m = Arc::clone(&m);
+        let c = Arc::clone(&c);
+        let entered = Arc::clone(&entered);
+        thread::spawn(move || {
+            m.enter(Priority::NORM, |t1| {
+                t1.write(&c, 1);
+                entered.wait();
+                {
+                    let m2 = Arc::clone(&m);
+                    wait_until("contender to inflate under the holder", move || {
+                        m2.stats().inflations >= 1
+                    });
+                }
+                m.enter(Priority::NORM, |t2| {
+                    t2.update(&c, |v| v + 10);
+                    m.enter(Priority::NORM, |t3| {
+                        t3.update(&c, |v| v + 100);
+                    });
+                });
+            });
+        })
+    };
+    entered.wait();
+    let contender = {
+        let m = Arc::clone(&m);
+        let c = Arc::clone(&c);
+        thread::spawn(move || m.enter(Priority::NORM, |tx| tx.read(&c)))
+    };
+    holder.join().unwrap();
+    assert_eq!(contender.join().unwrap(), 111, "contender runs after the full release");
+    let st = m.stats();
+    assert_eq!(st.acquires, 4);
+    assert_eq!(
+        st.thin_acquires, 1,
+        "nested enters after inflation must go through the fat reentrant path"
+    );
+    assert!(st.inflations >= 1);
+    assert_eq!(st.commits, 4);
+    assert_eq!(st.rollbacks, 0, "equal priorities: no revocation");
+}
+
+#[test]
+fn enter_cas_races_never_lose_an_update() {
+    // Many threads hammer the same monitor from a barrier start: every
+    // interleaving of the enter-CAS (thin claim vs. inflation vs. queue
+    // handoff) must serialize the increments exactly.
+    const THREADS: usize = 4;
+    const ITERS: i64 = 250;
+    let m = Arc::new(RevocableMonitor::new());
+    let c = Arc::new(TCell::new(0i64));
+    let start = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let m = Arc::clone(&m);
+            let c = Arc::clone(&c);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                start.wait();
+                for _ in 0..ITERS {
+                    m.enter(Priority::NORM, |tx| tx.update(&c, |v| v + 1));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.read_unsynchronized(), THREADS as i64 * ITERS);
+    let st = m.stats();
+    assert_eq!(st.acquires, (THREADS as i64 * ITERS) as u64, "equal priorities: no retries");
+    assert_eq!(st.commits, st.acquires);
+    assert!(st.thin_acquires <= st.acquires, "thin acquisitions are a subset of all acquisitions");
+    assert_eq!(st.rollbacks, 0);
+}

@@ -26,16 +26,20 @@ impl Vm {
     /// Execute one instruction of `tid`. The pc is advanced before
     /// execution (branch targets overwrite it), matching the JVM.
     pub(crate) fn step(&mut self, tid: ThreadId) -> Result<StepOutcome, VmError> {
-        let (mid, pc) = {
-            let f = self.thread(tid).frame();
-            (f.method, f.pc)
-        };
+        // Dispatch prologue in a single pass over the thread entry:
+        // fetch (method, pc), resolve the code slice, advance the pc and
+        // count the instruction under one borrow. Field access (not the
+        // `thread_mut` accessor) keeps the frame borrow disjoint from the
+        // `self.program` borrow. This runs once per bytecode executed.
+        let t = &mut self.threads[tid.index()];
+        let f = t.frames.last_mut().expect("thread has no frames");
+        let (mid, pc) = (f.method, f.pc);
         let method = &self.program.methods[mid.index()];
         let Some(&insn) = method.code.get(pc as usize) else {
             return Err(VmError::BadPc { method: method.name.clone(), pc });
         };
-        self.thread_mut(tid).frame_mut().pc = pc + 1;
-        self.thread_mut(tid).metrics.instructions += 1;
+        f.pc = pc + 1;
+        t.metrics.instructions += 1;
         self.charge(self.config.cost.instruction);
 
         let cont = Ok(StepOutcome::Continue { yield_point: false });
@@ -468,28 +472,32 @@ impl Vm {
         match self.heap.write(loc, v) {
             Ok(old) => {
                 let mut logged = false;
-                if self.config.barriers && elided {
-                    debug_assert!(
-                        !self.thread(tid).in_section(),
-                        "elided store executed inside a synchronized section"
-                    );
-                    self.thread_mut(tid).metrics.barriers_elided += 1;
-                }
-                if self.config.barriers && !elided {
-                    self.thread_mut(tid).metrics.barrier_fast_paths += 1;
-                    self.charge(self.config.cost.barrier_fast);
-                    if self.thread(tid).in_section() {
-                        logged = true;
-                        let pos = {
-                            let t = self.thread_mut(tid);
+                if self.config.barriers {
+                    if elided {
+                        debug_assert!(
+                            !self.thread(tid).in_section(),
+                            "elided store executed inside a synchronized section"
+                        );
+                        self.thread_mut(tid).metrics.barriers_elided += 1;
+                    } else {
+                        // One borrow covers the fast-path counter, the
+                        // in-section test, and the slow-path logging; the
+                        // clock is charged once at the end.
+                        let mut ticks = self.config.cost.barrier_fast;
+                        let t = &mut self.threads[tid.index()];
+                        t.metrics.barrier_fast_paths += 1;
+                        if t.in_section() {
+                            logged = true;
                             t.undo.push(UndoEntry { loc, old });
                             t.metrics.log_entries += 1;
-                            t.undo.len() - 1
-                        };
-                        if self.config.jmm_guard {
-                            self.jmm.record_write(loc, tid, pos);
+                            t.metrics.barrier_slow_paths += 1;
+                            let pos = t.undo.len() - 1;
+                            if self.config.jmm_guard {
+                                self.jmm.record_write(loc, tid, pos);
+                            }
+                            ticks += self.config.cost.barrier_slow;
                         }
-                        self.charge(self.config.cost.barrier_slow);
+                        self.charge(ticks);
                     }
                 }
                 self.with_probe(|p, vm| p.on_heap_write(vm, tid, loc, old, v, logged));

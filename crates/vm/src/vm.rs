@@ -262,8 +262,8 @@ impl RunReport {
         );
         let _ = writeln!(
             out,
-            "barriers           : {} fast paths, {} elided",
-            g.barrier_fast_paths, g.barriers_elided
+            "barriers           : {} fast paths, {} slow paths, {} elided",
+            g.barrier_fast_paths, g.barrier_slow_paths, g.barriers_elided
         );
         out
     }

@@ -110,6 +110,10 @@ fn elision_reduces_barrier_fast_paths() {
         elided.global.barrier_fast_paths + elided.global.barriers_elided,
         full.global.barrier_fast_paths
     );
+    // Slow paths are exactly the in-section stores, i.e. the logged ones
+    // — elision (outside-section stores only) cannot change that count.
+    assert_eq!(full.global.barrier_slow_paths, full.global.log_entries);
+    assert_eq!(elided.global.barrier_slow_paths, full.global.barrier_slow_paths);
 }
 
 #[test]
