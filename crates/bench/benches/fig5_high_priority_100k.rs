@@ -17,12 +17,9 @@ fn main() {
         &scale,
         Series::HighPriority,
     );
-    // Machine-readable summary (mean + 90 % CI per configuration) plus a
-    // representative per-run metrics dump, for future perf comparisons.
-    match export::write_figure_summary(export::results_dir(), "fig5", "high_priority", &figs) {
-        Ok(p) => println!("# wrote {}", p.display()),
-        Err(e) => eprintln!("# could not write summary JSON: {e}"),
-    }
+    // Machine-readable summary (mean + 90 % CI per configuration, plus
+    // episode-level context from a representative observed run) and a
+    // per-run metrics dump, for future perf comparisons.
     let rep = BenchParams {
         high_threads: 2,
         low_threads: 8,
@@ -34,6 +31,23 @@ fn main() {
         seed: 0xC0FFEE,
         quantum: scale.quantum,
     };
+    let (_, analysis) = export::run_cell_analyzed(&rep);
+    println!(
+        "# representative run: {} episodes ({} revocation-resolved), {} undo entries wasted",
+        analysis.episodes.len(),
+        analysis.revocation_episodes(),
+        analysis.wasted_entries
+    );
+    match export::write_figure_summary_with(
+        export::results_dir(),
+        "fig5",
+        "high_priority",
+        &figs,
+        Some(&analysis),
+    ) {
+        Ok(p) => println!("# wrote {}", p.display()),
+        Err(e) => eprintln!("# could not write summary JSON: {e}"),
+    }
     match export::write_run_metrics(export::results_dir(), "fig5", &rep) {
         Ok(p) => println!("# wrote {}", p.display()),
         Err(e) => eprintln!("# could not write run metrics JSON: {e}"),

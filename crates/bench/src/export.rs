@@ -31,6 +31,20 @@ pub fn figure_summary_json(
     series: &str,
     figs: &[((usize, usize), Vec<FigureRow>)],
 ) -> String {
+    figure_summary_json_with(figure, series, figs, None)
+}
+
+/// [`figure_summary_json`] plus an optional `episodes` block summarizing
+/// one representative observed run's priority-inversion episodes: count,
+/// per-resolution counts, mean/p99 inversion latency (virtual ticks) and
+/// wasted undo entries — the run-quality context behind the mean+ci90
+/// timing rows.
+pub fn figure_summary_json_with(
+    figure: &str,
+    series: &str,
+    figs: &[((usize, usize), Vec<FigureRow>)],
+    episodes: Option<&revmon_obs::Analysis>,
+) -> String {
     let mut out =
         format!("{{\n  \"figure\": \"{figure}\",\n  \"series\": \"{series}\",\n  \"mixes\": [\n");
     let mixes: Vec<String> = figs
@@ -54,7 +68,23 @@ pub fn figure_summary_json(
         })
         .collect();
     out.push_str(&mixes.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ]");
+    if let Some(a) = episodes {
+        let res: Vec<String> =
+            a.resolution_counts().iter().map(|(r, n)| format!("\"{}\": {n}", r.name())).collect();
+        out.push_str(&format!(
+            ",\n  \"episodes\": {{\n    \"count\": {},\n    \"resolutions\": {{{}}},\n    \
+             \"latency_mean\": {:.3},\n    \"latency_p99\": {},\n    \
+             \"wasted_undo_entries\": {},\n    \"wasted_section_ticks\": {}\n  }}",
+            a.episodes.len(),
+            res.join(", "),
+            a.inversion_latency.mean(),
+            a.inversion_latency.percentile(99.0),
+            a.wasted_entries,
+            a.wasted_time,
+        ));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -74,11 +104,34 @@ pub fn write_figure_summary(
     series: &str,
     figs: &[((usize, usize), Vec<FigureRow>)],
 ) -> io::Result<PathBuf> {
+    write_figure_summary_with(dir, figure, series, figs, None)
+}
+
+/// [`write_figure_summary`] with an episode summary block (see
+/// [`figure_summary_json_with`]).
+pub fn write_figure_summary_with(
+    dir: impl AsRef<Path>,
+    figure: &str,
+    series: &str,
+    figs: &[((usize, usize), Vec<FigureRow>)],
+    episodes: Option<&revmon_obs::Analysis>,
+) -> io::Result<PathBuf> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("BENCH_{figure}.json"));
-    std::fs::write(&path, figure_summary_json(figure, series, figs))?;
+    std::fs::write(&path, figure_summary_json_with(figure, series, figs, episodes))?;
     Ok(path.canonicalize().unwrap_or(path))
+}
+
+/// Execute one cell with a sink attached and analyze its event stream:
+/// the [`CellResult`] plus the reconstructed episode/contention
+/// [`revmon_obs::Analysis`] for that run.
+pub fn run_cell_analyzed(p: &BenchParams) -> (CellResult, revmon_obs::Analysis) {
+    let cfg = if p.modified { VmConfig::modified() } else { VmConfig::unmodified() };
+    let sink = Arc::new(revmon_obs::EventSink::new(revmon_obs::TsUnit::VirtualTicks));
+    let cell = run_cell_sink(p, cfg, Some(Arc::clone(&sink)));
+    let analysis = revmon_obs::Analysis::from_events(&sink.drain());
+    (cell, analysis)
 }
 
 /// Execute one cell with a `revmon-obs` sink attached and return the run
@@ -140,6 +193,34 @@ mod tests {
         assert!(json.contains("\"high\": 2, \"low\": 8"));
         assert!(json.contains("\"write_pct\": 100"));
         assert_eq!(json.matches("\"ci90\"").count(), 8); // 2 mixes × 2 rows × 2 VMs
+    }
+
+    #[test]
+    fn summary_json_episode_block_rides_alongside_timing_rows() {
+        let scale = Scale::smoke();
+        let p = BenchParams {
+            high_threads: 1,
+            low_threads: 2,
+            high_iters: scale.high_iters_small,
+            low_iters: scale.low_iters,
+            sections: scale.sections,
+            write_pct: 40,
+            modified: true,
+            seed: 11,
+            quantum: scale.quantum,
+        };
+        let (_, analysis) = run_cell_analyzed(&p);
+        let figs = vec![((2, 8), rows())];
+        let json = figure_summary_json_with("fig5", "high_priority", &figs, Some(&analysis));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"episodes\": {"));
+        assert!(json.contains("\"resolutions\": {\"revocation\":"));
+        assert!(json.contains("\"latency_p99\":"));
+        assert!(json.contains("\"wasted_undo_entries\":"));
+        // The timing rows are untouched by the new block.
+        assert!(json.contains("\"write_pct\": 100"));
+        // Without an analysis the block is absent (other figures).
+        assert!(!figure_summary_json("fig5", "high_priority", &figs).contains("episodes"));
     }
 
     #[test]

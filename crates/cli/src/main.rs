@@ -8,7 +8,7 @@
 //!        [--seed N] [--quantum N] [--max-steps N]
 //!        [--elide] [--sticky] [--trace] [--stats]
 //!        [--trace-out events.jsonl] [--chrome-trace out.json]
-//!        [--metrics-json metrics.json]
+//!        [--metrics-json metrics.json] [--prometheus out.prom]
 //! revmon explore program.rvm [--entry main] [--max-preemptions N]
 //!        [--max-schedules N] [--all-failures] [--max-rounds N]
 //!        [--fuzz-iters N] [--fuzz-seed N] [--fuzz-len N]
@@ -16,9 +16,10 @@
 //!        [--save-failure out.schedule.json] [--fault-skip-undo N]
 //!        [--policy ...] [--seed N] [--quantum N] [--max-steps N]
 //!        [--stats] [--metrics-json metrics.json]
-//! revmon demo [--low N] [--high N] [--sections N] [--stats]
+//! revmon demo [--low N] [--high N] [--sections N] [--stats] [--watch]
 //!        [--trace-out events.jsonl] [--chrome-trace out.json]
-//!        [--metrics-json metrics.json]
+//!        [--metrics-json metrics.json] [--prometheus out.prom]
+//! revmon analyze trace.jsonl [--json] [--prometheus out.prom]
 //! revmon dis program.rvm [--rewrite]
 //! revmon verify program.rvm [--rewrite]
 //! ```
@@ -26,6 +27,11 @@
 //! The observability flags work on both runtimes: `run` records the VM's
 //! virtual-clock event stream, `demo` records wall-clock events from the
 //! locks runtime's priority-inversion scenario. See `docs/observability.md`.
+//!
+//! `analyze` imports a `--trace-out` JSONL file and reconstructs
+//! priority-inversion episodes and per-monitor contention profiles from
+//! it; `demo --watch` runs the same analysis live while the scenario
+//! executes. See `docs/analysis.md`.
 //!
 //! `explore` enumerates schedules of a program exhaustively under a
 //! preemption bound (or samples them with `--fuzz-iters`), checking the
@@ -53,7 +59,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: revmon <run|explore|dis|verify> <file.rvm> [options]\n       revmon demo [options]\n       see crate docs for the option list".into()
+    "usage: revmon <run|explore|dis|verify> <file.rvm> [options]\n       revmon analyze <trace.jsonl> [--json] [--prometheus out.prom]\n       revmon demo [options]\n       see crate docs for the option list".into()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -62,6 +68,9 @@ fn run(args: &[String]) -> Result<(), String> {
         return run_demo(&args[1..]);
     }
     let file = args.get(1).ok_or_else(usage)?;
+    if cmd == "analyze" {
+        return run_analyze(file, &args[2..]);
+    }
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let program = assemble(&src).map_err(|e| format!("{file}: {e}"))?;
     let opts = &args[2..];
@@ -93,11 +102,12 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// The three observability output paths shared by `run` and `demo`.
+/// The observability output paths shared by `run` and `demo`.
 struct ObsOuts {
     trace_out: Option<String>,
     chrome: Option<String>,
     metrics: Option<String>,
+    prometheus: Option<String>,
 }
 
 impl ObsOuts {
@@ -106,35 +116,57 @@ impl ObsOuts {
             trace_out: get_opt(opts, "--trace-out")?,
             chrome: get_opt(opts, "--chrome-trace")?,
             metrics: get_opt(opts, "--metrics-json")?,
+            prometheus: get_opt(opts, "--prometheus")?,
         })
     }
 
     fn wanted(&self) -> bool {
-        self.trace_out.is_some() || self.chrome.is_some() || self.metrics.is_some()
+        self.trace_out.is_some()
+            || self.chrome.is_some()
+            || self.metrics.is_some()
+            || self.prometheus.is_some()
     }
 
-    /// Drain `sink` and write every requested artifact. `counters` is the
-    /// run's counter set for `--metrics-json`.
-    fn export(&self, sink: &EventSink, counters: &[(&str, u64)]) -> Result<(), String> {
-        let events = sink.drain();
+    /// Write every requested artifact from the run's drained `events`.
+    /// `counters` is the run's counter set for `--metrics-json`; `names`
+    /// labels monitors in the trace and Prometheus outputs.
+    fn export(
+        &self,
+        events: &[revmon_obs::Event],
+        sink: &EventSink,
+        counters: &[(&str, u64)],
+        names: &std::collections::BTreeMap<u64, String>,
+    ) -> Result<(), String> {
         if let Some(path) = &self.trace_out {
             let mut f = create(path)?;
-            revmon_obs::write_events_jsonl(&mut f, &events)
+            revmon_obs::write_trace_jsonl(&mut f, events, sink.ts_unit(), names)
                 .map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("revmon: wrote {} events to {path}", events.len());
         }
         if let Some(path) = &self.chrome {
             let mut f = create(path)?;
-            revmon_obs::write_chrome_trace(&mut f, &events, sink.ts_unit())
+            let repairs = revmon_obs::write_chrome_trace(&mut f, events, sink.ts_unit())
                 .map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!(
                 "revmon: wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)"
             );
+            if repairs > 0 {
+                eprintln!(
+                    "revmon: repaired {repairs} span(s) torn by ring-buffer overflow in {path}"
+                );
+            }
         }
         if let Some(path) = &self.metrics {
             let json = revmon_obs::metrics_json(counters, sink.histograms(), sink.ts_unit());
             std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("revmon: wrote metrics to {path}");
+        }
+        if let Some(path) = &self.prometheus {
+            let analysis = revmon_obs::Analysis::from_events(events);
+            let mut f = create(path)?;
+            revmon_obs::write_prometheus(&mut f, &analysis, names, sink.ts_unit())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("revmon: wrote Prometheus metrics to {path}");
         }
         Ok(())
     }
@@ -275,7 +307,44 @@ fn run_program(
     if let Some(sink) = &sink {
         let mut counters = Vec::new();
         report.global.for_each_field(|name, v| counters.push((name, v)));
-        outs.export(sink, &counters)?;
+        let events = sink.drain();
+        outs.export(&events, sink, &counters, &vm.monitor_names())?;
+    }
+    Ok(())
+}
+
+/// `revmon analyze`: import a JSONL trace (`run`/`demo --trace-out`)
+/// and report priority-inversion episodes and per-monitor contention.
+fn run_analyze(file: &str, opts: &[String]) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let imp = revmon_obs::import_trace_jsonl(&text);
+    if imp.warnings.total() > 0 {
+        let w = &imp.warnings;
+        eprintln!(
+            "revmon: {file}: skipped {} damaged line(s) ({} malformed, {} unknown kind, {} out of order)",
+            w.total(),
+            w.malformed_lines,
+            w.unknown_kinds,
+            w.out_of_order
+        );
+    }
+    if imp.events.is_empty() {
+        return Err(format!("{file}: no importable events"));
+    }
+    let analysis = revmon_obs::Analysis::from_events(&imp.events);
+    let unit = imp.unit();
+    if has_flag(opts, "--json") {
+        print!("{}", revmon_obs::analysis_json(&analysis, &imp.names, unit));
+    } else {
+        let mut out = std::io::stdout().lock();
+        revmon_obs::write_report(&mut out, &analysis, &imp.names, unit)
+            .map_err(|e| format!("writing report: {e}"))?;
+    }
+    if let Some(path) = get_opt(opts, "--prometheus")? {
+        let mut f = create(&path)?;
+        revmon_obs::write_prometheus(&mut f, &analysis, &imp.names, unit)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("revmon: wrote Prometheus metrics to {path}");
     }
     Ok(())
 }
@@ -505,15 +574,54 @@ fn run_demo(opts: &[String]) -> Result<(), String> {
     }
 
     let outs = ObsOuts::parse(opts)?;
-    let sink = outs.wanted().then(|| Arc::new(EventSink::new(TsUnit::WallNanos)));
+    let watch = has_flag(opts, "--watch");
+    let sink = (outs.wanted() || watch).then(|| Arc::new(EventSink::new(TsUnit::WallNanos)));
     if let Some(sink) = &sink {
         revmon_locks::obs::install(Arc::clone(sink));
     }
 
-    let monitor = Arc::new(RevocableMonitor::new());
+    let monitor = Arc::new(RevocableMonitor::named("aggregate"));
     let counter = TCell::new(0i64);
     let stop = Arc::new(AtomicBool::new(false));
     let low_commits = Arc::new(AtomicU64::new(0));
+
+    // Live reporting: periodically drain the sink, fold the events into
+    // a running analysis, and print a one-line status. The drained
+    // events are accumulated so the final export still sees everything.
+    let watch_done = Arc::new(AtomicBool::new(false));
+    let watcher = watch.then(|| {
+        let sink = Arc::clone(sink.as_ref().expect("watch implies a sink"));
+        let done = Arc::clone(&watch_done);
+        std::thread::spawn(move || -> Vec<revmon_obs::Event> {
+            let mut events: Vec<revmon_obs::Event> = Vec::new();
+            let names = revmon_locks::obs::monitor_names();
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                events.extend(sink.drain());
+                let a = revmon_obs::Analysis::from_events(&events);
+                eprintln!(
+                    "watch: {} events | {} episodes ({} revocation, {} unresolved) | \
+                     {} undo entries wasted | hottest {}",
+                    a.events,
+                    a.episodes.len(),
+                    a.revocation_episodes(),
+                    a.episodes
+                        .iter()
+                        .filter(|e| e.resolution == revmon_obs::Resolution::Unresolved)
+                        .count(),
+                    a.wasted_entries,
+                    a.profiles
+                        .first()
+                        .map(|p| revmon_obs::monitor_label(&names, p.monitor))
+                        .unwrap_or_else(|| "-".into()),
+                );
+                if finished {
+                    return events;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        })
+    });
 
     // Low-priority aggregators: long revocable sections with yield
     // points, the "batch update" side of the paper's motivating scenario.
@@ -590,12 +698,31 @@ fn run_demo(opts: &[String]) -> Result<(), String> {
         }
     }
 
+    // Stop the live reporter and take the events it already drained.
+    let mut events = Vec::new();
+    if let Some(watcher) = watcher {
+        watch_done.store(true, Ordering::Release);
+        events = watcher.join().map_err(|_| "watch reporter panicked".to_string())?;
+    }
+
     if let Some(sink) = &sink {
         revmon_locks::obs::uninstall();
+        events.extend(sink.drain());
         let mut counters = Vec::new();
         let total = revmon_locks::aggregate_snapshot();
         total.for_each_field(|name, v| counters.push((name, v)));
-        outs.export(sink, &counters)?;
+        outs.export(&events, sink, &counters, &revmon_locks::obs::monitor_names())?;
+        if watch {
+            let a = revmon_obs::Analysis::from_events(&events);
+            let mut out = std::io::stdout().lock();
+            revmon_obs::write_report(
+                &mut out,
+                &a,
+                &revmon_locks::obs::monitor_names(),
+                sink.ts_unit(),
+            )
+            .map_err(|e| format!("writing report: {e}"))?;
+        }
     }
     Ok(())
 }

@@ -100,6 +100,64 @@ fn trace_flag_prints_monitor_events() {
 }
 
 #[test]
+fn run_trace_out_then_analyze_reports_the_revocation_episode() {
+    let trace = std::env::temp_dir().join("revmon-cli-pi.jsonl");
+    let out = bin()
+        .args(["run", &program("priority_inversion.rvm"), "--trace-out", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Text report: named monitor, revocation resolution, wasted work.
+    let out = bin().args(["analyze", trace.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("inversion episodes: 1"), "report:\n{stdout}");
+    assert!(stdout.contains("monitor \"lock\""), "monitor name missing:\n{stdout}");
+    assert!(stdout.contains("revocation"), "resolution missing:\n{stdout}");
+    assert!(stdout.contains("undo entries rolled back"), "wasted work missing:\n{stdout}");
+
+    // JSON report + Prometheus export.
+    let prom = std::env::temp_dir().join("revmon-cli-pi.prom");
+    let out = bin()
+        .args([
+            "analyze",
+            trace.to_str().unwrap(),
+            "--json",
+            "--prometheus",
+            prom.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"resolutions\": {\"revocation\": 1"), "json:\n{json}");
+    assert!(json.contains("\"monitor_name\": \"lock\""), "json:\n{json}");
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(prom_text.contains("revmon_episodes_total{resolution=\"revocation\"} 1"));
+    assert!(prom_text.contains("revmon_monitor_acquires_total{monitor=\"lock\"}"));
+}
+
+#[test]
+fn analyze_tolerates_damage_and_rejects_empty_input() {
+    let dir = std::env::temp_dir();
+    let damaged = dir.join("revmon-cli-damaged.jsonl");
+    std::fs::write(
+        &damaged,
+        "{\"ts\":10,\"thread\":1,\"monitor\":3,\"kind\":\"Acquire\"}\nnot json\n",
+    )
+    .unwrap();
+    let out = bin().args(["analyze", damaged.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "damage must degrade, not fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("skipped 1 damaged line"));
+
+    let empty = dir.join("revmon-cli-empty.jsonl");
+    std::fs::write(&empty, "").unwrap();
+    let out = bin().args(["analyze", empty.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success(), "no events must be an error");
+}
+
+#[test]
 fn producer_consumer_handshake_works() {
     for config in ["modified", "unmodified"] {
         let out = bin()

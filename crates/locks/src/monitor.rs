@@ -189,6 +189,27 @@ impl RevocableMonitor {
         }
     }
 
+    /// A named revocation-policy monitor — shorthand for
+    /// [`new`](Self::new) + [`set_name`](Self::set_name).
+    pub fn named(name: &str) -> Self {
+        let m = Self::new();
+        m.set_name(name);
+        m
+    }
+
+    /// Give this monitor a human name; analysis reports over traces
+    /// from this process then say `monitor "queue"` instead of its
+    /// numeric id. Off the hot path; renaming overwrites.
+    pub fn set_name(&self, name: &str) {
+        obs::name_monitor(self.id, name);
+    }
+
+    /// The id this monitor carries in [`revmon_obs::Event::monitor`] —
+    /// the key for `obs::monitor_names()` and trace name tables.
+    pub fn obs_id(&self) -> u64 {
+        self.id
+    }
+
     /// This monitor's policy.
     pub fn policy(&self) -> InversionPolicy {
         self.policy

@@ -29,6 +29,23 @@ pub fn uninstall() -> Option<Arc<EventSink>> {
     SINK.lock().take()
 }
 
+static NAMES: Mutex<Option<std::collections::BTreeMap<u64, String>>> = Mutex::new(None);
+
+/// Give monitor `monitor` (an obs id, see
+/// [`RevocableMonitor::obs_id`](crate::RevocableMonitor::obs_id)) a
+/// human name. Analysis reports over traces from this process then say
+/// `monitor "queue"` instead of `monitor 3`. Naming is process-global
+/// and off the hot path; renaming overwrites.
+pub fn name_monitor(monitor: u64, name: &str) {
+    NAMES.lock().get_or_insert_with(Default::default).insert(monitor, name.to_string());
+}
+
+/// Snapshot of the monitor-name table, for trace export
+/// ([`revmon_obs::write_trace_jsonl`]) and report rendering.
+pub fn monitor_names() -> std::collections::BTreeMap<u64, String> {
+    NAMES.lock().clone().unwrap_or_default()
+}
+
 /// Whether a sink is installed. The cheap gate for sites that must do
 /// extra work (e.g. read the clock) before emitting.
 #[inline]

@@ -1,0 +1,618 @@
+//! `revmon-analyze`: turn an event stream into answers.
+//!
+//! [`Analysis::from_events`] makes one pass over a trace and produces:
+//!
+//! * the reconstructed [`Episode`]s (see [`crate::episode`]) with
+//!   per-resolution counts and exact inversion-latency statistics
+//!   (episodes are few; latencies are kept exactly rather than
+//!   histogram-quantized, so reports are byte-stable);
+//! * **per-monitor contention profiles** ([`MonitorProfile`]): keyed
+//!   event counters plus blocking-time and held-time histograms, sorted
+//!   by blocking time so the worst offender tops every report;
+//! * stream totals and a damage-aware event census.
+//!
+//! Three renderers share the result: [`write_report`] (human text),
+//! [`analysis_json`] (machine JSON), and [`write_prometheus`]
+//! (Prometheus text exposition format, for scraping live processes or
+//! pushing post-hoc). All three take the monitor-name table from the
+//! trace (or the runtimes' naming APIs) so output reads
+//! `monitor "queue"`, not `monitor 3`.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use crate::episode::{reconstruct_episodes, Episode, Resolution};
+use crate::event::{Event, EventKind};
+use crate::export::esc;
+use crate::hist::Histogram;
+use crate::sink::TsUnit;
+
+/// Per-monitor contention profile.
+pub struct MonitorProfile {
+    /// Monitor id.
+    pub monitor: u64,
+    /// Acquisitions (including recursive re-entries and handoffs).
+    pub acquires: u64,
+    /// Entry-queue blocking episodes.
+    pub blocks: u64,
+    /// Revocations requested against holders of this monitor.
+    pub revoke_requests: u64,
+    /// Rollbacks performed on this monitor.
+    pub rollbacks: u64,
+    /// Sections committed.
+    pub commits: u64,
+    /// Inversions flagged unresolvable (non-revocable holder).
+    pub unresolved: u64,
+    /// Undo entries restored by this monitor's rollbacks.
+    pub wasted_entries: u64,
+    /// Total clock units threads spent blocked on the entry queue.
+    pub total_blocked: u64,
+    /// Blocking-time distribution (Block → same thread's Acquire).
+    pub blocking: Histogram,
+    /// Held-time distribution (outermost Acquire → Release).
+    pub held: Histogram,
+}
+
+impl MonitorProfile {
+    fn new(monitor: u64) -> Self {
+        MonitorProfile {
+            monitor,
+            acquires: 0,
+            blocks: 0,
+            revoke_requests: 0,
+            rollbacks: 0,
+            commits: 0,
+            unresolved: 0,
+            wasted_entries: 0,
+            total_blocked: 0,
+            blocking: Histogram::new(),
+            held: Histogram::new(),
+        }
+    }
+}
+
+/// Exact statistics over a small set of values (episode latencies).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExactStats {
+    values: Vec<u64>, // kept sorted
+}
+
+impl ExactStats {
+    fn push(&mut self, v: u64) {
+        let at = self.values.partition_point(|&x| x <= v);
+        self.values.insert(at, v);
+    }
+
+    /// Number of values.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<u64>() as f64 / self.values.len() as f64
+        }
+    }
+
+    /// Exact nearest-rank percentile (0 when empty).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.values.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.values.len() as f64).ceil().max(1.0) as usize;
+        self.values[rank.min(self.values.len()) - 1]
+    }
+
+    /// Largest value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.values.last().copied().unwrap_or(0)
+    }
+}
+
+/// The complete analysis of one trace.
+pub struct Analysis {
+    /// Reconstructed episodes, ordered by start time.
+    pub episodes: Vec<Episode>,
+    /// Per-monitor profiles, sorted by total blocking time (descending;
+    /// monitor id breaks ties) — Brandenburg's blocking-time-per-resource
+    /// ordering.
+    pub profiles: Vec<MonitorProfile>,
+    /// Event census by kind name, in alphabetical (`BTreeMap`) order.
+    pub kind_counts: BTreeMap<&'static str, u64>,
+    /// Total events analyzed.
+    pub events: u64,
+    /// Last timestamp seen (stream length in clock units).
+    pub last_ts: u64,
+    /// Exact inversion-latency stats over resolved episodes.
+    pub inversion_latency: ExactStats,
+    /// Total undo entries rolled back across all episodes.
+    pub wasted_entries: u64,
+    /// Total discarded section time across all episodes.
+    pub wasted_time: u64,
+}
+
+impl Analysis {
+    /// One pass: episodes + profiles + census.
+    pub fn from_events(events: &[Event]) -> Analysis {
+        let mut profiles: BTreeMap<u64, MonitorProfile> = BTreeMap::new();
+        let mut kind_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut block_since: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut section_since: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut last_ts = 0u64;
+
+        for ev in events {
+            *kind_counts.entry(ev.kind.name()).or_insert(0) += 1;
+            last_ts = last_ts.max(ev.ts);
+            if ev.monitor == Event::NO_MONITOR {
+                continue;
+            }
+            let p = profiles.entry(ev.monitor).or_insert_with(|| MonitorProfile::new(ev.monitor));
+            let key = (ev.thread, ev.monitor);
+            match ev.kind {
+                EventKind::Acquire => {
+                    p.acquires += 1;
+                    if let Some(t0) = block_since.remove(&key) {
+                        let waited = ev.ts.saturating_sub(t0);
+                        p.total_blocked += waited;
+                        p.blocking.record(waited);
+                    }
+                    section_since.entry(key).or_insert(ev.ts);
+                }
+                EventKind::Block => {
+                    p.blocks += 1;
+                    block_since.entry(key).or_insert(ev.ts);
+                }
+                EventKind::RevokeRequest { .. } => p.revoke_requests += 1,
+                EventKind::Rollback { entries, .. } => {
+                    p.rollbacks += 1;
+                    p.wasted_entries += entries;
+                    section_since.remove(&key);
+                }
+                EventKind::Commit => p.commits += 1,
+                EventKind::Release => {
+                    if let Some(t0) = section_since.remove(&key) {
+                        p.held.record(ev.ts.saturating_sub(t0));
+                    }
+                }
+                EventKind::InversionUnresolved { .. } => p.unresolved += 1,
+                EventKind::NonRevocable
+                | EventKind::DeadlockDetected { .. }
+                | EventKind::DeadlockBroken => {}
+            }
+        }
+
+        let episodes = reconstruct_episodes(events);
+        let mut inversion_latency = ExactStats::default();
+        let mut wasted_entries = 0;
+        let mut wasted_time = 0;
+        for e in &episodes {
+            if let Some(l) = e.latency() {
+                inversion_latency.push(l);
+            }
+            wasted_entries += e.wasted_entries;
+            wasted_time += e.wasted_time;
+        }
+
+        let mut profiles: Vec<MonitorProfile> = profiles.into_values().collect();
+        profiles.sort_by_key(|p| (std::cmp::Reverse(p.total_blocked), p.monitor));
+
+        Analysis {
+            episodes,
+            profiles,
+            kind_counts,
+            events: events.len() as u64,
+            last_ts,
+            inversion_latency,
+            wasted_entries,
+            wasted_time,
+        }
+    }
+
+    /// Episode count per resolution, in [`Resolution::ALL`] order.
+    pub fn resolution_counts(&self) -> [(Resolution, u64); 4] {
+        Resolution::ALL
+            .map(|r| (r, self.episodes.iter().filter(|e| e.resolution == r).count() as u64))
+    }
+
+    /// Count of episodes resolved by revocation (the paper's headline).
+    pub fn revocation_episodes(&self) -> u64 {
+        self.episodes.iter().filter(|e| e.resolution == Resolution::Revocation).count() as u64
+    }
+}
+
+/// Render a monitor id through the name table: `"queue"` when named,
+/// `#3` otherwise.
+pub fn monitor_label(names: &BTreeMap<u64, String>, monitor: u64) -> String {
+    match names.get(&monitor) {
+        Some(n) => format!("\"{n}\""),
+        None => format!("#{monitor}"),
+    }
+}
+
+/// Write the human-readable analysis report.
+pub fn write_report<W: Write>(
+    w: &mut W,
+    a: &Analysis,
+    names: &BTreeMap<u64, String>,
+    unit: TsUnit,
+) -> io::Result<()> {
+    let u = unit.suffix();
+    writeln!(w, "trace: {} events over {} {u}", a.events, a.last_ts)?;
+    let census: Vec<String> = a.kind_counts.iter().map(|(k, n)| format!("{n} {k}")).collect();
+    writeln!(w, "  {}", census.join(", "))?;
+
+    writeln!(w, "\ninversion episodes: {}", a.episodes.len())?;
+    for (r, n) in a.resolution_counts() {
+        if n > 0 {
+            writeln!(w, "  {:<16} {n}", r.name())?;
+        }
+    }
+    if a.inversion_latency.count() > 0 {
+        writeln!(
+            w,
+            "  latency ({u}): mean {:.1}, p50 {}, p99 {}, max {}",
+            a.inversion_latency.mean(),
+            a.inversion_latency.percentile(50.0),
+            a.inversion_latency.percentile(99.0),
+            a.inversion_latency.max(),
+        )?;
+    }
+    writeln!(
+        w,
+        "  wasted work: {} undo entries rolled back, {} {u} of discarded section time",
+        a.wasted_entries, a.wasted_time
+    )?;
+    let worst_repeat = a.episodes.iter().map(|e| e.revoke_requests).max().unwrap_or(0);
+    if worst_repeat > 1 {
+        writeln!(w, "  livelock signal: an episode needed {worst_repeat} revoke requests")?;
+    }
+
+    for e in &a.episodes {
+        let end = match e.end {
+            Some(t) => format!("{t}"),
+            None => "-".into(),
+        };
+        let lat = match e.latency() {
+            Some(l) => format!("{l} {u}"),
+            None => "unresolved".into(),
+        };
+        let requester =
+            if e.requester == Event::NO_THREAD { "?".into() } else { format!("t{}", e.requester) };
+        writeln!(
+            w,
+            "  [{:>8}..{:>8}] monitor {:<12} {:<16} {requester} vs t{}: latency {lat}, \
+             {} rollbacks, {} undo entries, {} {u} wasted",
+            e.start,
+            end,
+            monitor_label(names, e.monitor),
+            e.resolution.name(),
+            e.holder,
+            e.rollbacks,
+            e.wasted_entries,
+            e.wasted_time,
+        )?;
+    }
+
+    writeln!(w, "\nper-monitor contention (by total blocking time):")?;
+    writeln!(
+        w,
+        "  {:<14} {:>8} {:>8} {:>8} {:>9} {:>10} {:>10} {:>10}",
+        "monitor", "acquires", "blocks", "revokes", "rollbacks", "blocked", "p99 block", "p99 held"
+    )?;
+    for p in &a.profiles {
+        writeln!(
+            w,
+            "  {:<14} {:>8} {:>8} {:>8} {:>9} {:>10} {:>10} {:>10}",
+            monitor_label(names, p.monitor),
+            p.acquires,
+            p.blocks,
+            p.revoke_requests,
+            p.rollbacks,
+            p.total_blocked,
+            p.blocking.percentile(99.0),
+            p.held.percentile(99.0),
+        )?;
+    }
+    Ok(())
+}
+
+/// Render the analysis as one JSON document.
+pub fn analysis_json(a: &Analysis, names: &BTreeMap<u64, String>, unit: TsUnit) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"events\": {},\n", a.events));
+    out.push_str(&format!("  \"ts_unit\": \"{}\",\n", unit.suffix()));
+    out.push_str(&format!("  \"span\": {},\n", a.last_ts));
+
+    out.push_str("  \"kinds\": {");
+    let census: Vec<String> = a.kind_counts.iter().map(|(k, n)| format!("\"{k}\": {n}")).collect();
+    out.push_str(&census.join(", "));
+    out.push_str("},\n");
+
+    out.push_str("  \"episode_summary\": {\n");
+    out.push_str(&format!("    \"count\": {},\n", a.episodes.len()));
+    let res: Vec<String> =
+        a.resolution_counts().iter().map(|(r, n)| format!("\"{}\": {n}", r.name())).collect();
+    out.push_str(&format!("    \"resolutions\": {{{}}},\n", res.join(", ")));
+    out.push_str(&format!(
+        "    \"latency\": {{\"count\": {}, \"mean\": {:.3}, \"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
+        a.inversion_latency.count(),
+        a.inversion_latency.mean(),
+        a.inversion_latency.percentile(50.0),
+        a.inversion_latency.percentile(99.0),
+        a.inversion_latency.max(),
+    ));
+    out.push_str(&format!(
+        "    \"wasted_entries\": {},\n    \"wasted_time\": {}\n  }},\n",
+        a.wasted_entries, a.wasted_time
+    ));
+
+    out.push_str("  \"episodes\": [\n");
+    let eps: Vec<String> = a
+        .episodes
+        .iter()
+        .map(|e| {
+            let end = match e.end {
+                Some(t) => t.to_string(),
+                None => "null".into(),
+            };
+            let latency = match e.latency() {
+                Some(l) => l.to_string(),
+                None => "null".into(),
+            };
+            let requester = if e.requester == Event::NO_THREAD {
+                "null".into()
+            } else {
+                e.requester.to_string()
+            };
+            let name = match names.get(&e.monitor) {
+                Some(n) => format!("\"{}\"", esc(n)),
+                None => "null".into(),
+            };
+            format!(
+                "    {{\"monitor\": {}, \"monitor_name\": {name}, \"holder\": {}, \
+                 \"requester\": {requester}, \"start\": {}, \"end\": {end}, \
+                 \"resolution\": \"{}\", \"latency\": {latency}, \"rollbacks\": {}, \
+                 \"wasted_entries\": {}, \"wasted_time\": {}, \"revoke_requests\": {}}}",
+                e.monitor,
+                e.holder,
+                e.start,
+                e.resolution.name(),
+                e.rollbacks,
+                e.wasted_entries,
+                e.wasted_time,
+                e.revoke_requests,
+            )
+        })
+        .collect();
+    out.push_str(&eps.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"monitors\": [\n");
+    let mons: Vec<String> = a
+        .profiles
+        .iter()
+        .map(|p| {
+            let name = match names.get(&p.monitor) {
+                Some(n) => format!("\"{}\"", esc(n)),
+                None => "null".into(),
+            };
+            format!(
+                "    {{\"monitor\": {}, \"name\": {name}, \"acquires\": {}, \"blocks\": {}, \
+                 \"revoke_requests\": {}, \"rollbacks\": {}, \"commits\": {}, \
+                 \"unresolved\": {}, \"wasted_entries\": {}, \"total_blocked\": {}, \
+                 \"blocking_p50\": {}, \"blocking_p99\": {}, \"held_p50\": {}, \"held_p99\": {}}}",
+                p.monitor,
+                p.acquires,
+                p.blocks,
+                p.revoke_requests,
+                p.rollbacks,
+                p.commits,
+                p.unresolved,
+                p.wasted_entries,
+                p.total_blocked,
+                p.blocking.percentile(50.0),
+                p.blocking.percentile(99.0),
+                p.held.percentile(50.0),
+                p.held.percentile(99.0),
+            )
+        })
+        .collect();
+    out.push_str(&mons.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn prom_esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn prom_monitor_label(names: &BTreeMap<u64, String>, monitor: u64) -> String {
+    match names.get(&monitor) {
+        Some(n) => prom_esc(n),
+        None => format!("monitor-{monitor}"),
+    }
+}
+
+/// Write the analysis in Prometheus text exposition format: episode and
+/// wasted-work counters, inversion-latency quantiles, and per-monitor
+/// contention series. Clock units ride in the metric names via the
+/// unit's suffix (`ticks` / `ns`).
+pub fn write_prometheus<W: Write>(
+    w: &mut W,
+    a: &Analysis,
+    names: &BTreeMap<u64, String>,
+    unit: TsUnit,
+) -> io::Result<()> {
+    let u = unit.suffix();
+    writeln!(w, "# HELP revmon_events_total Events analyzed, by kind.")?;
+    writeln!(w, "# TYPE revmon_events_total counter")?;
+    for (k, n) in &a.kind_counts {
+        writeln!(w, "revmon_events_total{{kind=\"{k}\"}} {n}")?;
+    }
+
+    writeln!(w, "# HELP revmon_episodes_total Priority-inversion episodes, by resolution.")?;
+    writeln!(w, "# TYPE revmon_episodes_total counter")?;
+    for (r, n) in a.resolution_counts() {
+        writeln!(w, "revmon_episodes_total{{resolution=\"{}\"}} {n}", r.name())?;
+    }
+
+    writeln!(w, "# HELP revmon_inversion_latency_{u} Inversion latency of resolved episodes.")?;
+    writeln!(w, "# TYPE revmon_inversion_latency_{u} summary")?;
+    for (q, p) in [("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0)] {
+        writeln!(
+            w,
+            "revmon_inversion_latency_{u}{{quantile=\"{q}\"}} {}",
+            a.inversion_latency.percentile(p)
+        )?;
+    }
+    writeln!(
+        w,
+        "revmon_inversion_latency_{u}_sum {}",
+        (a.inversion_latency.mean() * a.inversion_latency.count() as f64).round() as u64
+    )?;
+    writeln!(w, "revmon_inversion_latency_{u}_count {}", a.inversion_latency.count())?;
+
+    writeln!(w, "# HELP revmon_wasted_undo_entries_total Undo entries rolled back.")?;
+    writeln!(w, "# TYPE revmon_wasted_undo_entries_total counter")?;
+    writeln!(w, "revmon_wasted_undo_entries_total {}", a.wasted_entries)?;
+    writeln!(w, "# HELP revmon_wasted_section_{u}_total Discarded section time.")?;
+    writeln!(w, "# TYPE revmon_wasted_section_{u}_total counter")?;
+    writeln!(w, "revmon_wasted_section_{u}_total {}", a.wasted_time)?;
+
+    writeln!(w, "# HELP revmon_monitor_acquires_total Acquisitions per monitor.")?;
+    writeln!(w, "# TYPE revmon_monitor_acquires_total counter")?;
+    for p in &a.profiles {
+        let m = prom_monitor_label(names, p.monitor);
+        writeln!(w, "revmon_monitor_acquires_total{{monitor=\"{m}\"}} {}", p.acquires)?;
+    }
+    writeln!(w, "# HELP revmon_monitor_blocked_{u}_total Entry-queue blocking time per monitor.")?;
+    writeln!(w, "# TYPE revmon_monitor_blocked_{u}_total counter")?;
+    for p in &a.profiles {
+        let m = prom_monitor_label(names, p.monitor);
+        writeln!(w, "revmon_monitor_blocked_{u}_total{{monitor=\"{m}\"}} {}", p.total_blocked)?;
+    }
+    writeln!(w, "# HELP revmon_monitor_rollbacks_total Rollbacks per monitor.")?;
+    writeln!(w, "# TYPE revmon_monitor_rollbacks_total counter")?;
+    for p in &a.profiles {
+        let m = prom_monitor_label(names, p.monitor);
+        writeln!(w, "revmon_monitor_rollbacks_total{{monitor=\"{m}\"}} {}", p.rollbacks)?;
+    }
+    writeln!(w, "# HELP revmon_monitor_blocking_{u} Blocking-time quantiles per monitor.")?;
+    writeln!(w, "# TYPE revmon_monitor_blocking_{u} summary")?;
+    for p in &a.profiles {
+        let m = prom_monitor_label(names, p.monitor);
+        for (q, pct) in [("0.5", 50.0), ("0.99", 99.0)] {
+            writeln!(
+                w,
+                "revmon_monitor_blocking_{u}{{monitor=\"{m}\",quantile=\"{q}\"}} {}",
+                p.blocking.percentile(pct)
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, thread: u64, monitor: u64, kind: EventKind) -> Event {
+        Event { ts, thread, monitor, kind }
+    }
+
+    fn inversion_scenario() -> Vec<Event> {
+        vec![
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+            ev(30, 1, 7, EventKind::Rollback { entries: 4, duration: 6 }),
+            ev(31, 2, 7, EventKind::Acquire),
+            ev(40, 2, 7, EventKind::Commit),
+            ev(40, 2, 7, EventKind::Release),
+        ]
+    }
+
+    fn named() -> BTreeMap<u64, String> {
+        let mut names = BTreeMap::new();
+        names.insert(7, "queue".to_string());
+        names
+    }
+
+    #[test]
+    fn analysis_profiles_and_episodes_agree() {
+        let a = Analysis::from_events(&inversion_scenario());
+        assert_eq!(a.events, 7);
+        assert_eq!(a.episodes.len(), 1);
+        assert_eq!(a.revocation_episodes(), 1);
+        assert_eq!(a.profiles.len(), 1);
+        let p = &a.profiles[0];
+        assert_eq!(p.monitor, 7);
+        assert_eq!(p.acquires, 2);
+        assert_eq!(p.blocks, 1);
+        assert_eq!(p.rollbacks, 1);
+        assert_eq!(p.wasted_entries, 4);
+        assert_eq!(p.total_blocked, 11);
+        assert_eq!(p.held.count(), 1); // requester's section; holder's rolled back
+        assert_eq!(a.wasted_entries, 4);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut s = ExactStats::default();
+        for v in [5u64, 1, 9, 3] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.percentile(50.0), 3);
+        assert_eq!(s.percentile(99.0), 9);
+        assert_eq!(s.max(), 9);
+        assert!((s.mean() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_report_uses_monitor_names() {
+        let a = Analysis::from_events(&inversion_scenario());
+        let mut buf = Vec::new();
+        write_report(&mut buf, &a, &named(), TsUnit::VirtualTicks).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("monitor \"queue\""), "names missing in:\n{text}");
+        assert!(text.contains("revocation"), "resolution missing in:\n{text}");
+        assert!(text.contains("4 undo entries"), "wasted work missing in:\n{text}");
+        assert!(!text.contains("#7"), "named monitor leaked its id:\n{text}");
+    }
+
+    #[test]
+    fn json_report_is_balanced_and_complete() {
+        let a = Analysis::from_events(&inversion_scenario());
+        let json = analysis_json(&a, &named(), TsUnit::VirtualTicks);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"resolutions\": {\"revocation\": 1"));
+        assert!(json.contains("\"monitor_name\": \"queue\""));
+        assert!(json.contains("\"wasted_entries\": 4"));
+        // The whole document re-parses line-by-line with the importer's
+        // scanner? Not flat JSON — just sanity-check key fields instead.
+        assert!(json.contains("\"latency\": 11"));
+    }
+
+    #[test]
+    fn prometheus_output_is_well_formed() {
+        let a = Analysis::from_events(&inversion_scenario());
+        let mut buf = Vec::new();
+        write_prometheus(&mut buf, &a, &named(), TsUnit::VirtualTicks).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("revmon_episodes_total{resolution=\"revocation\"} 1"));
+        assert!(text.contains("revmon_inversion_latency_ticks{quantile=\"0.99\"} 11"));
+        assert!(text.contains("revmon_monitor_acquires_total{monitor=\"queue\"} 2"));
+        assert!(text.contains("revmon_wasted_undo_entries_total 4"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad sample line: {line}");
+        }
+    }
+}

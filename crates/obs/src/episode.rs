@@ -1,0 +1,405 @@
+//! Priority-inversion **episode** reconstruction.
+//!
+//! The paper's argument (§4) is about episodes, not isolated events: a
+//! high-priority thread blocks behind a lower-priority holder, the
+//! runtime reacts (revocation, priority inheritance, or nothing), and
+//! eventually the blocked thread gets the monitor — or doesn't. This
+//! module replays a recorded event stream through a per-monitor state
+//! machine and reduces `Block → RevokeRequest → Rollback/Commit →
+//! Acquire` sequences into [`Episode`]s with:
+//!
+//! * a **resolution** classification ([`Resolution`]);
+//! * the **inversion latency** — requester's block (or the first revoke
+//!   request) to the requester's acquire;
+//! * the **wasted work** the resolution cost: undo entries rolled back,
+//!   discarded section time re-executed later, and the repeat-revocation
+//!   count (a livelock signal when it climbs).
+//!
+//! The builder is runtime-agnostic: it consumes [`Event`]s whether they
+//! came live from an [`EventSink`](crate::EventSink) drain or from a
+//! re-imported JSONL trace, in either clock domain.
+
+use std::collections::HashMap;
+
+use crate::event::{Event, EventKind};
+
+/// How an episode ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resolution {
+    /// The holder was revoked (rolled back) and the requester got in.
+    Revocation,
+    /// The holder finished and released on its own before any rollback;
+    /// the requester waited it out (the blocking baseline's only mode,
+    /// and the revocation policy's mode for non-revocable sections that
+    /// still complete).
+    NaturalRelease,
+    /// The episode was resolved by the deadlock breaker revoking a
+    /// victim in a waits-for cycle.
+    DeadlockBreak,
+    /// The stream ended with the requester still waiting (non-revocable
+    /// holder that never released, or a truncated trace).
+    Unresolved,
+}
+
+impl Resolution {
+    /// Stable name used by every exporter.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Resolution::Revocation => "revocation",
+            Resolution::NaturalRelease => "natural_release",
+            Resolution::DeadlockBreak => "deadlock_break",
+            Resolution::Unresolved => "unresolved",
+        }
+    }
+
+    /// All resolutions, in report order.
+    pub const ALL: [Resolution; 4] = [
+        Resolution::Revocation,
+        Resolution::NaturalRelease,
+        Resolution::DeadlockBreak,
+        Resolution::Unresolved,
+    ];
+}
+
+/// One reconstructed priority-inversion episode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Episode {
+    /// Contended monitor.
+    pub monitor: u64,
+    /// The (lower-priority) thread that held the monitor when the
+    /// episode opened.
+    pub holder: u64,
+    /// The (higher-priority) blocked requester, or [`Event::NO_THREAD`]
+    /// when unknown (deadlock-break episodes attribute no requester).
+    pub requester: u64,
+    /// When the inversion began: the requester's `Block` timestamp when
+    /// observed, else the first `RevokeRequest`/`DeadlockBroken`.
+    pub start: u64,
+    /// When the requester acquired the monitor (`None` if unresolved).
+    pub end: Option<u64>,
+    /// Classification of how it ended.
+    pub resolution: Resolution,
+    /// Rollbacks performed on this monitor during the episode.
+    pub rollbacks: u64,
+    /// Undo-log entries restored by those rollbacks (wasted writes).
+    pub wasted_entries: u64,
+    /// Clock units of discarded section work: holder acquire → rollback
+    /// completion, summed over rollbacks — time that must be re-executed.
+    pub wasted_time: u64,
+    /// Revoke requests observed while the episode was open. More than
+    /// one request per rollback means the holder kept getting re-flagged
+    /// — the livelock signal `max_consecutive_revocations` guards.
+    pub revoke_requests: u64,
+    /// `InversionUnresolved` marks seen (holder was non-revocable when
+    /// flagged).
+    pub unresolvable_marks: u64,
+}
+
+impl Episode {
+    /// Inversion latency: episode start to the requester's acquire.
+    pub fn latency(&self) -> Option<u64> {
+        self.end.map(|e| e.saturating_sub(self.start))
+    }
+}
+
+/// In-flight episode state (one per contended monitor).
+struct OpenEpisode {
+    holder: u64,
+    requester: u64,
+    start: u64,
+    rollbacks: u64,
+    wasted_entries: u64,
+    wasted_time: u64,
+    revoke_requests: u64,
+    unresolvable_marks: u64,
+    deadlock: bool,
+}
+
+impl OpenEpisode {
+    fn close(self, monitor: u64, end: Option<u64>, resolution: Resolution) -> Episode {
+        Episode {
+            monitor,
+            holder: self.holder,
+            requester: self.requester,
+            start: self.start,
+            end,
+            resolution,
+            rollbacks: self.rollbacks,
+            wasted_entries: self.wasted_entries,
+            wasted_time: self.wasted_time,
+            revoke_requests: self.revoke_requests,
+            unresolvable_marks: self.unresolvable_marks,
+        }
+    }
+
+    fn resolution_on_acquire(&self) -> Resolution {
+        if self.deadlock {
+            Resolution::DeadlockBreak
+        } else if self.rollbacks > 0 {
+            Resolution::Revocation
+        } else {
+            Resolution::NaturalRelease
+        }
+    }
+}
+
+/// Streaming reconstruction: feed events in order, then
+/// [`EpisodeBuilder::finish`].
+#[derive(Default)]
+pub struct EpisodeBuilder {
+    /// Open episode per monitor.
+    open: HashMap<u64, OpenEpisode>,
+    /// `(thread, monitor)` → block timestamp (entry-queue waits).
+    block_since: HashMap<(u64, u64), u64>,
+    /// `(thread, monitor)` → outermost-acquire timestamp (open sections).
+    section_since: HashMap<(u64, u64), u64>,
+    /// Threads flagged by the deadlock breaker whose rollback has not
+    /// been seen yet (the VM emits `DeadlockBroken` without a monitor;
+    /// the victim's next rollback names it).
+    deadlock_victims: HashMap<u64, u64>,
+    done: Vec<Episode>,
+}
+
+impl EpisodeBuilder {
+    /// Fresh builder with no open state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one event into the reconstruction. Events must arrive in
+    /// stream order (the importer and sink drains guarantee this).
+    pub fn observe(&mut self, ev: &Event) {
+        let key = (ev.thread, ev.monitor);
+        match ev.kind {
+            EventKind::Block => {
+                self.block_since.entry(key).or_insert(ev.ts);
+            }
+            EventKind::RevokeRequest { by } | EventKind::InversionUnresolved { by } => {
+                let unresolvable = matches!(ev.kind, EventKind::InversionUnresolved { .. });
+                let start = self.block_since.get(&(by, ev.monitor)).copied().unwrap_or(ev.ts);
+                let ep = self.open.entry(ev.monitor).or_insert(OpenEpisode {
+                    holder: ev.thread,
+                    requester: by,
+                    start,
+                    rollbacks: 0,
+                    wasted_entries: 0,
+                    wasted_time: 0,
+                    revoke_requests: 0,
+                    unresolvable_marks: 0,
+                    deadlock: false,
+                });
+                if unresolvable {
+                    ep.unresolvable_marks += 1;
+                } else {
+                    ep.revoke_requests += 1;
+                }
+            }
+            EventKind::Rollback { entries, .. } => {
+                let deadlock = self.deadlock_victims.remove(&ev.thread);
+                let section_start = self.section_since.remove(&key);
+                let ep = match self.open.get_mut(&ev.monitor) {
+                    Some(ep) => ep,
+                    None => {
+                        // No revoke request observed for this monitor —
+                        // only the deadlock breaker revokes without one.
+                        let start = deadlock.unwrap_or(ev.ts);
+                        self.open.entry(ev.monitor).or_insert(OpenEpisode {
+                            holder: ev.thread,
+                            requester: Event::NO_THREAD,
+                            start,
+                            rollbacks: 0,
+                            wasted_entries: 0,
+                            wasted_time: 0,
+                            revoke_requests: 0,
+                            unresolvable_marks: 0,
+                            deadlock: false,
+                        })
+                    }
+                };
+                ep.rollbacks += 1;
+                ep.wasted_entries += entries;
+                if deadlock.is_some() {
+                    ep.deadlock = true;
+                }
+                if let Some(t0) = section_start {
+                    // Everything from the acquire to the end of the
+                    // rollback is work the holder must redo.
+                    ep.wasted_time += ev.ts.saturating_sub(t0);
+                }
+            }
+            EventKind::Acquire => {
+                self.block_since.remove(&key);
+                self.section_since.entry(key).or_insert(ev.ts);
+                let closes = self.open.get(&ev.monitor).is_some_and(|ep| {
+                    ev.thread == ep.requester
+                        || (ep.requester == Event::NO_THREAD && ev.thread != ep.holder)
+                });
+                if closes {
+                    let ep = self.open.remove(&ev.monitor).expect("checked above");
+                    let resolution = ep.resolution_on_acquire();
+                    self.done.push(ep.close(ev.monitor, Some(ev.ts), resolution));
+                }
+            }
+            EventKind::Release => {
+                self.section_since.remove(&key);
+            }
+            EventKind::DeadlockBroken => {
+                if ev.monitor == Event::NO_MONITOR {
+                    // VM shape: the victim's next rollback carries the monitor.
+                    self.deadlock_victims.insert(ev.thread, ev.ts);
+                } else if let Some(ep) = self.open.get_mut(&ev.monitor) {
+                    ep.deadlock = true;
+                } else {
+                    self.deadlock_victims.insert(ev.thread, ev.ts);
+                }
+            }
+            EventKind::Commit | EventKind::NonRevocable | EventKind::DeadlockDetected { .. } => {}
+        }
+    }
+
+    /// Close the stream: anything still open becomes an unresolved
+    /// episode. Episodes are returned ordered by start time (monitor id
+    /// breaks ties) so reports are deterministic.
+    pub fn finish(mut self) -> Vec<Episode> {
+        let mut open: Vec<(u64, OpenEpisode)> = self.open.drain().collect();
+        open.sort_by_key(|(m, ep)| (ep.start, *m));
+        for (monitor, ep) in open {
+            self.done.push(ep.close(monitor, None, Resolution::Unresolved));
+        }
+        self.done.sort_by_key(|e| (e.start, e.monitor));
+        self.done
+    }
+}
+
+/// Reconstruct the episodes of a complete event stream.
+pub fn reconstruct_episodes(events: &[Event]) -> Vec<Episode> {
+    let mut b = EpisodeBuilder::new();
+    for ev in events {
+        b.observe(ev);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, thread: u64, monitor: u64, kind: EventKind) -> Event {
+        Event { ts, thread, monitor, kind }
+    }
+
+    #[test]
+    fn revocation_episode_reconstructs_with_wasted_work() {
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+            ev(30, 1, 7, EventKind::Rollback { entries: 4, duration: 6 }),
+            ev(31, 2, 7, EventKind::Acquire),
+            ev(40, 2, 7, EventKind::Commit),
+            ev(40, 2, 7, EventKind::Release),
+        ]);
+        assert_eq!(eps.len(), 1);
+        let e = &eps[0];
+        assert_eq!(e.resolution, Resolution::Revocation);
+        assert_eq!((e.monitor, e.holder, e.requester), (7, 1, 2));
+        assert_eq!(e.start, 20); // the requester's Block, not the request
+        assert_eq!(e.latency(), Some(11));
+        assert_eq!(e.rollbacks, 1);
+        assert_eq!(e.wasted_entries, 4);
+        assert_eq!(e.wasted_time, 20); // acquire@10 → rollback done@30
+        assert_eq!(e.revoke_requests, 1);
+    }
+
+    #[test]
+    fn natural_release_when_holder_finishes_first() {
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(21, 1, 7, EventKind::InversionUnresolved { by: 2 }), // non-revocable
+            ev(50, 1, 7, EventKind::Commit),
+            ev(50, 1, 7, EventKind::Release),
+            ev(51, 2, 7, EventKind::Acquire),
+        ]);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].resolution, Resolution::NaturalRelease);
+        assert_eq!(eps[0].latency(), Some(31));
+        assert_eq!(eps[0].rollbacks, 0);
+        assert_eq!(eps[0].unresolvable_marks, 1);
+    }
+
+    #[test]
+    fn unresolved_when_stream_ends_mid_episode() {
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::InversionUnresolved { by: 2 }),
+        ]);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].resolution, Resolution::Unresolved);
+        assert_eq!(eps[0].end, None);
+        assert_eq!(eps[0].latency(), None);
+    }
+
+    #[test]
+    fn deadlock_break_links_victim_rollback_to_monitor() {
+        // VM shape: DeadlockBroken names only the victim; its rollback
+        // names the monitor; the other cycle member then acquires it.
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 3, EventKind::Acquire), // kant takes A
+            ev(11, 2, 4, EventKind::Acquire), // hegel takes B
+            ev(20, 1, 4, EventKind::Block),   // kant blocks on B
+            ev(21, 2, 3, EventKind::Block),   // hegel blocks on A → cycle
+            ev(21, 0, u64::MAX, EventKind::DeadlockDetected { cycle_len: 2 }),
+            ev(21, 2, u64::MAX, EventKind::DeadlockBroken),
+            ev(25, 2, 4, EventKind::Rollback { entries: 3, duration: 2 }),
+            ev(26, 1, 4, EventKind::Acquire), // kant gets B
+        ]);
+        assert_eq!(eps.len(), 1);
+        let e = &eps[0];
+        assert_eq!(e.resolution, Resolution::DeadlockBreak);
+        assert_eq!(e.monitor, 4);
+        assert_eq!(e.holder, 2);
+        assert_eq!(e.wasted_entries, 3);
+        assert_eq!(e.wasted_time, 14); // acquire@11 → rollback@25
+    }
+
+    #[test]
+    fn repeat_revocations_count_as_livelock_signal() {
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+            ev(30, 1, 7, EventKind::Rollback { entries: 2, duration: 1 }),
+            ev(32, 1, 7, EventKind::Acquire), // holder sneaks back in
+            ev(33, 1, 7, EventKind::RevokeRequest { by: 2 }),
+            ev(40, 1, 7, EventKind::Rollback { entries: 2, duration: 1 }),
+            ev(41, 2, 7, EventKind::Acquire),
+        ]);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].revoke_requests, 2);
+        assert_eq!(eps[0].rollbacks, 2);
+        assert_eq!(eps[0].wasted_entries, 4);
+        assert_eq!(eps[0].resolution, Resolution::Revocation);
+    }
+
+    #[test]
+    fn independent_monitors_reconstruct_independent_episodes() {
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(11, 3, 9, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(21, 4, 9, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+            ev(23, 3, 9, EventKind::RevokeRequest { by: 4 }),
+            ev(30, 1, 7, EventKind::Rollback { entries: 1, duration: 1 }),
+            ev(31, 2, 7, EventKind::Acquire),
+            ev(35, 3, 9, EventKind::Rollback { entries: 2, duration: 1 }),
+            ev(36, 4, 9, EventKind::Acquire),
+        ]);
+        assert_eq!(eps.len(), 2);
+        assert_eq!(eps[0].monitor, 7);
+        assert_eq!(eps[1].monitor, 9);
+        assert!(eps.iter().all(|e| e.resolution == Resolution::Revocation));
+    }
+}

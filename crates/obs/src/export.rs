@@ -13,7 +13,7 @@ use crate::latency::Histograms;
 use crate::sink::TsUnit;
 
 /// Escape a string for inclusion in a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -63,14 +63,44 @@ pub fn write_events_jsonl<W: Write>(w: &mut W, events: &[Event]) -> io::Result<(
     Ok(())
 }
 
+/// Write a full analyzable trace as JSON Lines: a meta header naming
+/// the clock unit, one `monitor_name` meta line per named monitor, then
+/// one flat object per event (same shape as [`write_events_jsonl`]).
+/// This is the format `revmon analyze` imports; see
+/// [`crate::import_trace_jsonl`].
+pub fn write_trace_jsonl<W: Write>(
+    w: &mut W,
+    events: &[Event],
+    unit: TsUnit,
+    names: &std::collections::BTreeMap<u64, String>,
+) -> io::Result<()> {
+    writeln!(w, "{{\"meta\":\"trace\",\"ts_unit\":\"{}\",\"version\":1}}", unit.suffix())?;
+    for (monitor, name) in names {
+        writeln!(
+            w,
+            "{{\"meta\":\"monitor_name\",\"monitor\":{monitor},\"name\":\"{}\"}}",
+            esc(name)
+        )?;
+    }
+    write_events_jsonl(w, events)
+}
+
 /// Write events in Chrome `trace_event` format.
 ///
 /// Monitor-held time and entry-queue blocking render as duration spans
 /// (`B`/`E`), rollbacks as complete events (`X`) with their measured
-/// duration, and everything else as instants (`i`). Spans still open at
-/// the end of the stream are closed at the last timestamp so the file
+/// duration, and everything else as instants (`i`).
+///
+/// Ring-buffer overflow can drop events mid-stream, orphaning a `B`
+/// with no `E` (dropped `Release`/`Acquire`) or producing an `E` with
+/// no matching `B` (dropped `Block`/`Acquire`). Such tears are repaired
+/// in place — a stale blocked span is closed when its thread blocks or
+/// acquires elsewhere, and a close with no open span is skipped — and
+/// the number of repairs is returned so callers can surface damage.
+/// Spans still open at the end of the stream are closed at the last
+/// timestamp (normal truncation, not counted as repairs) so the file
 /// always balances.
-pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[Event], unit: TsUnit) -> io::Result<()> {
+pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[Event], unit: TsUnit) -> io::Result<u64> {
     let mut first = true;
     let mut emit = |w: &mut W, json: String| -> io::Result<()> {
         if first {
@@ -96,6 +126,10 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[Event], unit: TsUnit) -
     // monitor each thread is currently blocked on.
     let mut held: HashMap<u64, Vec<u64>> = HashMap::new();
     let mut blocked: HashMap<u64, u64> = HashMap::new();
+    // Monitors whose held span a rollback force-closed; the unwind's
+    // own Release events for them are expected, not orphans.
+    let mut unwound: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut repairs = 0u64;
     let mut last_ts = 0u64;
 
     for ev in events {
@@ -103,7 +137,20 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[Event], unit: TsUnit) -
         let us = unit.to_micros(ev.ts);
         match ev.kind {
             EventKind::Block => {
-                if blocked.insert(ev.thread, ev.monitor).is_none() {
+                if let Some(&m) = blocked.get(&ev.thread) {
+                    if m != ev.monitor {
+                        // The Acquire that ended the old blocked span was
+                        // dropped: synthesize its E here.
+                        let name = format!("blocked: monitor {m}");
+                        emit(w, span("E", &name, "blocking", ev.thread, us))?;
+                        repairs += 1;
+                        blocked.insert(ev.thread, ev.monitor);
+                        let name = format!("blocked: monitor {}", ev.monitor);
+                        emit(w, span("B", &name, "blocking", ev.thread, us))?;
+                    }
+                    // Re-blocking on the same monitor keeps the span open.
+                } else {
+                    blocked.insert(ev.thread, ev.monitor);
                     let name = format!("blocked: monitor {}", ev.monitor);
                     emit(w, span("B", &name, "blocking", ev.thread, us))?;
                 }
@@ -112,6 +159,11 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[Event], unit: TsUnit) -
                 if let Some(m) = blocked.remove(&ev.thread) {
                     let name = format!("blocked: monitor {m}");
                     emit(w, span("E", &name, "blocking", ev.thread, us))?;
+                    if m != ev.monitor {
+                        // Blocked on one monitor, acquired another: the
+                        // intervening Acquire/Block pair was dropped.
+                        repairs += 1;
+                    }
                 }
                 let stack = held.entry(ev.thread).or_default();
                 // Reentrant acquires keep the existing span open.
@@ -119,6 +171,10 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[Event], unit: TsUnit) -
                     stack.push(ev.monitor);
                     let name = format!("monitor {} held", ev.monitor);
                     emit(w, span("B", &name, "monitor", ev.thread, us))?;
+                }
+                // A fresh acquire supersedes any stale unwind debt.
+                if let Some(pend) = unwound.get_mut(&ev.thread) {
+                    pend.retain(|&m| m != ev.monitor);
                 }
             }
             EventKind::Release | EventKind::Rollback { .. } => {
@@ -138,15 +194,37 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[Event], unit: TsUnit) -
                 // Close spans down to (and including) this monitor so
                 // B/E stay properly nested even if inner sections were
                 // torn down by an unwind.
+                let mut closed = false;
                 if let Some(stack) = held.get_mut(&ev.thread) {
                     if stack.contains(&ev.monitor) {
+                        closed = true;
+                        let rollback = matches!(ev.kind, EventKind::Rollback { .. });
                         while let Some(m) = stack.pop() {
                             let name = format!("monitor {m} held");
                             emit(w, span("E", &name, "monitor", ev.thread, us))?;
+                            if rollback {
+                                // The unwind will still emit a Release
+                                // for each monitor closed here.
+                                unwound.entry(ev.thread).or_default().push(m);
+                            }
                             if m == ev.monitor {
                                 break;
                             }
                         }
+                    }
+                }
+                if !closed {
+                    let expected = unwound
+                        .get_mut(&ev.thread)
+                        .map(|pend| {
+                            let before = pend.len();
+                            pend.retain(|&m| m != ev.monitor);
+                            pend.len() < before
+                        })
+                        .unwrap_or(false);
+                    if !expected {
+                        // E with no B: the opening Acquire was dropped.
+                        repairs += 1;
                     }
                 }
             }
@@ -184,7 +262,8 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[Event], unit: TsUnit) -
             emit(w, span("E", &name, "monitor", thread, end_us))?;
         }
     }
-    writeln!(w, "\n]}}")
+    writeln!(w, "\n]}}")?;
+    Ok(repairs)
 }
 
 fn hist_json(name: &str, h: &crate::hist::Histogram) -> String {
@@ -301,7 +380,9 @@ mod tests {
     #[test]
     fn chrome_trace_balances_spans() {
         let mut buf = Vec::new();
-        write_chrome_trace(&mut buf, &inversion_scenario(), TsUnit::VirtualTicks).unwrap();
+        let repairs =
+            write_chrome_trace(&mut buf, &inversion_scenario(), TsUnit::VirtualTicks).unwrap();
+        assert_eq!(repairs, 0, "clean trace needed repairs");
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("{\"traceEvents\":["));
         assert!(text.trim_end().ends_with("]}"));
@@ -318,12 +399,69 @@ mod tests {
     fn chrome_trace_closes_dangling_spans_at_end() {
         let events = vec![ev(5, 1, 3, EventKind::Acquire), ev(9, 2, 3, EventKind::Block)];
         let mut buf = Vec::new();
-        write_chrome_trace(&mut buf, &events, TsUnit::WallNanos).unwrap();
+        let repairs = write_chrome_trace(&mut buf, &events, TsUnit::WallNanos).unwrap();
+        // EOF balancing is normal truncation, not damage.
+        assert_eq!(repairs, 0);
         let text = String::from_utf8(buf).unwrap();
         let b = text.matches("\"ph\":\"B\"").count();
         let e = text.matches("\"ph\":\"E\"").count();
         assert_eq!(b, 2);
         assert_eq!(b, e);
+    }
+
+    #[test]
+    fn chrome_trace_repairs_mid_stream_tears() {
+        // Ring overflow dropped events: thread 1's Acquire(3) vanished
+        // between its Block(3) and Block(5) (orphan blocked-B), thread
+        // 2's Acquire(5) vanished before its Release(5) (E with no B).
+        let events = vec![
+            ev(10, 1, 3, EventKind::Block),
+            ev(20, 1, 5, EventKind::Block),
+            ev(25, 1, 5, EventKind::Acquire),
+            ev(30, 2, 5, EventKind::Release),
+            ev(40, 1, 5, EventKind::Release),
+        ];
+        let mut buf = Vec::new();
+        let repairs = write_chrome_trace(&mut buf, &events, TsUnit::VirtualTicks).unwrap();
+        assert_eq!(repairs, 2, "expected one synthesized E and one skipped orphan");
+        let text = String::from_utf8(buf).unwrap();
+        let b = text.matches("\"ph\":\"B\"").count();
+        let e = text.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e, "repaired trace still unbalanced: {text}");
+    }
+
+    #[test]
+    fn chrome_trace_rollback_unwind_releases_are_not_orphans() {
+        // The VM emits Rollback first, then a Release per unwound
+        // monitor; those Releases must not count as repairs.
+        let events = vec![
+            ev(10, 1, 3, EventKind::Acquire),
+            ev(12, 1, 5, EventKind::Acquire),
+            ev(20, 1, 3, EventKind::Rollback { entries: 2, duration: 4 }),
+            ev(21, 1, 5, EventKind::Release),
+            ev(22, 1, 3, EventKind::Release),
+        ];
+        let mut buf = Vec::new();
+        let repairs = write_chrome_trace(&mut buf, &events, TsUnit::VirtualTicks).unwrap();
+        assert_eq!(repairs, 0, "unwind releases misread as orphans");
+        let text = String::from_utf8(buf).unwrap();
+        let b = text.matches("\"ph\":\"B\"").count();
+        let e = text.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn trace_jsonl_has_meta_header_and_names() {
+        let mut names = std::collections::BTreeMap::new();
+        names.insert(7u64, "queue".to_string());
+        let mut buf = Vec::new();
+        write_trace_jsonl(&mut buf, &inversion_scenario(), TsUnit::VirtualTicks, &names).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 + 7);
+        assert_eq!(lines[0], "{\"meta\":\"trace\",\"ts_unit\":\"ticks\",\"version\":1}");
+        assert_eq!(lines[1], "{\"meta\":\"monitor_name\",\"monitor\":7,\"name\":\"queue\"}");
+        assert!(lines[2].starts_with("{\"ts\":10,"));
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! JSONL trace importer — the inverse of [`crate::export::write_trace_jsonl`].
+//!
+//! Traces come back from disk, from other machines, or from pipelines
+//! that truncated or interleaved them, so the parser is deliberately
+//! *lossy-stream tolerant*: a malformed line, an unknown event kind, or
+//! a timestamp that runs backwards is skipped and **counted**, never a
+//! panic and never a hard error. A clean export re-imports losslessly;
+//! a damaged one imports whatever survives plus an honest damage report.
+//!
+//! The importer understands two line shapes:
+//!
+//! * **meta lines** — `{"meta":"trace","ts_unit":"ticks","version":1}`
+//!   (stream header) and `{"meta":"monitor_name","monitor":3,"name":"queue"}`
+//!   (monitor-naming table entries);
+//! * **event lines** — the flat objects [`crate::write_events_jsonl`]
+//!   emits, one [`Event`] each.
+//!
+//! JSON is parsed by hand (flat objects, numeric/string/null values
+//! only) to match the hand-rolled exporters — the build environment has
+//! no serde.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+use crate::sink::TsUnit;
+
+/// Damage counters accumulated while importing a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImportWarnings {
+    /// Lines that were not parsable flat JSON objects or were missing
+    /// required fields (includes truncated trailing lines).
+    pub malformed_lines: u64,
+    /// Event lines whose `kind` this version does not know.
+    pub unknown_kinds: u64,
+    /// Event lines whose timestamp ran backwards relative to the last
+    /// accepted event (ring-buffer shear or interleaved writers).
+    pub out_of_order: u64,
+}
+
+impl ImportWarnings {
+    /// Total skipped lines.
+    pub fn total(&self) -> u64 {
+        self.malformed_lines + self.unknown_kinds + self.out_of_order
+    }
+}
+
+/// A parsed trace: the surviving events in order, the monitor-name
+/// table, the declared clock domain, and the damage report.
+#[derive(Debug, Default)]
+pub struct TraceImport {
+    /// Events that parsed cleanly, in stream order.
+    pub events: Vec<Event>,
+    /// Monitor id → human name, from `monitor_name` meta lines.
+    pub names: BTreeMap<u64, String>,
+    /// Clock domain from the stream header, if one was present.
+    pub ts_unit: Option<TsUnit>,
+    /// What was skipped.
+    pub warnings: ImportWarnings,
+}
+
+impl TraceImport {
+    /// The clock domain, defaulting to virtual ticks for headerless
+    /// streams (the deterministic-VM format predates the header).
+    pub fn unit(&self) -> TsUnit {
+        self.ts_unit.unwrap_or(TsUnit::VirtualTicks)
+    }
+}
+
+/// One flat JSON value the trace format uses.
+#[derive(Clone, Debug, PartialEq)]
+enum JVal {
+    Num(u64),
+    Str(String),
+    Null,
+}
+
+impl JVal {
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            JVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one `{"key":value,...}` line of flat JSON (numbers, strings,
+/// `null`). Returns `None` on any syntax error, including truncation.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JVal)>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return finishing(chars).then_some(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek()? {
+            '"' => JVal::Str(parse_string(&mut chars)?),
+            'n' => {
+                for expect in "null".chars() {
+                    if chars.next()? != expect {
+                        return None;
+                    }
+                }
+                JVal::Null
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    n = n.checked_mul(10)?.checked_add(d as u64)?;
+                    chars.next();
+                }
+                JVal::Num(n)
+            }
+            _ => return None,
+        };
+        out.push((key, val));
+        skip_ws(&mut chars);
+        match chars.next()? {
+            ',' => continue,
+            '}' => return finishing(chars).then_some(out),
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+/// After the closing `}`: only whitespace may remain.
+fn finishing(chars: std::iter::Peekable<std::str::Chars<'_>>) -> bool {
+    chars.clone().all(char::is_whitespace)
+}
+
+/// Parse a JSON string literal (cursor on the opening quote).
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(s),
+            '\\' => match chars.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                'n' => s.push('\n'),
+                'r' => s.push('\r'),
+                't' => s.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    s.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => s.push(c),
+        }
+    }
+}
+
+fn field<'a>(obj: &'a [(String, JVal)], key: &str) -> Option<&'a JVal> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// What one parsed line meant.
+enum Line {
+    Event(Event),
+    UnitMeta(Option<TsUnit>),
+    NameMeta(u64, String),
+    UnknownMeta,
+    UnknownKind,
+}
+
+fn classify(obj: &[(String, JVal)]) -> Option<Line> {
+    if let Some(meta) = field(obj, "meta") {
+        return Some(match meta.as_str()? {
+            "trace" => Line::UnitMeta(match field(obj, "ts_unit").and_then(JVal::as_str) {
+                Some("ticks") => Some(TsUnit::VirtualTicks),
+                Some("ns") => Some(TsUnit::WallNanos),
+                _ => None,
+            }),
+            "monitor_name" => Line::NameMeta(
+                field(obj, "monitor")?.as_num()?,
+                field(obj, "name")?.as_str()?.to_string(),
+            ),
+            // Future meta kinds pass through harmlessly.
+            _ => Line::UnknownMeta,
+        });
+    }
+    let ts = field(obj, "ts")?.as_num()?;
+    let thread = field(obj, "thread")?.as_num()?;
+    let monitor = match field(obj, "monitor")? {
+        JVal::Null => Event::NO_MONITOR,
+        v => v.as_num()?,
+    };
+    let num = |key: &str| field(obj, key).and_then(JVal::as_num);
+    let kind = match field(obj, "kind")?.as_str()? {
+        "Acquire" => EventKind::Acquire,
+        "Block" => EventKind::Block,
+        "Commit" => EventKind::Commit,
+        "Release" => EventKind::Release,
+        "NonRevocable" => EventKind::NonRevocable,
+        "DeadlockBroken" => EventKind::DeadlockBroken,
+        "RevokeRequest" => EventKind::RevokeRequest { by: num("by")? },
+        "InversionUnresolved" => EventKind::InversionUnresolved { by: num("by")? },
+        "Rollback" => EventKind::Rollback { entries: num("entries")?, duration: num("duration")? },
+        "DeadlockDetected" => EventKind::DeadlockDetected { cycle_len: num("cycle_len")? },
+        _ => return Some(Line::UnknownKind),
+    };
+    Some(Line::Event(Event { ts, thread, monitor, kind }))
+}
+
+/// Import a JSONL trace from text. Never fails: damage is skipped and
+/// counted in [`TraceImport::warnings`].
+pub fn import_trace_jsonl(text: &str) -> TraceImport {
+    let mut imp = TraceImport::default();
+    let mut last_ts = 0u64;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(line) = parse_flat_object(line).as_deref().and_then(classify) else {
+            imp.warnings.malformed_lines += 1;
+            continue;
+        };
+        match line {
+            Line::Event(ev) => {
+                if ev.ts < last_ts {
+                    imp.warnings.out_of_order += 1;
+                    continue;
+                }
+                last_ts = ev.ts;
+                imp.events.push(ev);
+            }
+            Line::UnitMeta(unit) => imp.ts_unit = unit.or(imp.ts_unit),
+            Line::NameMeta(monitor, name) => {
+                imp.names.insert(monitor, name);
+            }
+            Line::UnknownMeta => {}
+            Line::UnknownKind => imp.warnings.unknown_kinds += 1,
+        }
+    }
+    imp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_parser_handles_the_trace_vocabulary() {
+        let obj = parse_flat_object(
+            r#"{"ts":10,"thread":1,"monitor":null,"kind":"Rollback","entries":4,"duration":6}"#,
+        )
+        .expect("parses");
+        assert_eq!(field(&obj, "ts"), Some(&JVal::Num(10)));
+        assert_eq!(field(&obj, "monitor"), Some(&JVal::Null));
+        assert_eq!(field(&obj, "kind"), Some(&JVal::Str("Rollback".into())));
+    }
+
+    #[test]
+    fn flat_parser_rejects_truncation_and_trailing_junk() {
+        assert!(parse_flat_object(r#"{"ts":10,"thread""#).is_none());
+        assert!(parse_flat_object(r#"{"ts":10} extra"#).is_none());
+        assert!(parse_flat_object("").is_none());
+        assert!(parse_flat_object("not json at all").is_none());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let obj = parse_flat_object(r#"{"name":"a\"b\\c\nA"}"#).expect("parses");
+        assert_eq!(field(&obj, "name"), Some(&JVal::Str("a\"b\\c\nA".into())));
+    }
+
+    #[test]
+    fn import_reads_events_meta_and_names() {
+        let text = concat!(
+            "{\"meta\":\"trace\",\"ts_unit\":\"ticks\",\"version\":1}\n",
+            "{\"meta\":\"monitor_name\",\"monitor\":7,\"name\":\"queue\"}\n",
+            "{\"ts\":10,\"thread\":1,\"monitor\":7,\"kind\":\"Acquire\"}\n",
+            "{\"ts\":22,\"thread\":1,\"monitor\":7,\"kind\":\"RevokeRequest\",\"by\":2}\n",
+        );
+        let imp = import_trace_jsonl(text);
+        assert_eq!(imp.events.len(), 2);
+        assert_eq!(imp.ts_unit, Some(TsUnit::VirtualTicks));
+        assert_eq!(imp.names.get(&7).map(String::as_str), Some("queue"));
+        assert_eq!(imp.events[1].kind, EventKind::RevokeRequest { by: 2 });
+        assert_eq!(imp.warnings.total(), 0);
+    }
+
+    #[test]
+    fn damage_is_counted_not_fatal() {
+        let text = concat!(
+            "{\"ts\":10,\"thread\":1,\"monitor\":3,\"kind\":\"Acquire\"}\n",
+            "{\"ts\":12,\"thread\":1,\"moni", // truncated
+            "\n",
+            "{\"ts\":14,\"thread\":1,\"monitor\":3,\"kind\":\"Teleport\"}\n", // unknown kind
+            "{\"ts\":5,\"thread\":2,\"monitor\":3,\"kind\":\"Block\"}\n",     // backwards
+            "{\"ts\":20,\"thread\":1,\"monitor\":3,\"kind\":\"Release\"}\n",
+        );
+        let imp = import_trace_jsonl(text);
+        assert_eq!(imp.events.len(), 2);
+        assert_eq!(imp.warnings.malformed_lines, 1);
+        assert_eq!(imp.warnings.unknown_kinds, 1);
+        assert_eq!(imp.warnings.out_of_order, 1);
+        assert_eq!(imp.warnings.total(), 3);
+    }
+
+    #[test]
+    fn missing_required_fields_are_malformed() {
+        let imp = import_trace_jsonl("{\"ts\":10,\"thread\":1,\"kind\":\"Acquire\"}\n");
+        assert!(imp.events.is_empty());
+        assert_eq!(imp.warnings.malformed_lines, 1);
+        // RevokeRequest without its `by` payload is malformed too.
+        let imp = import_trace_jsonl(
+            "{\"ts\":1,\"thread\":1,\"monitor\":2,\"kind\":\"RevokeRequest\"}\n",
+        );
+        assert_eq!(imp.warnings.malformed_lines, 1);
+    }
+}

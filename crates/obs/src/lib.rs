@@ -19,25 +19,46 @@
 //!   record path. A disabled sink costs one relaxed atomic load per
 //!   event site.
 //! * exporters — [`write_events_jsonl`] (JSON Lines),
+//!   [`write_trace_jsonl`] (JSON Lines with a meta header + monitor
+//!   name table, the `revmon analyze` interchange format),
 //!   [`write_chrome_trace`] (Chrome `trace_event`, loadable in Perfetto
-//!   or `chrome://tracing`), [`write_summary`] (p50/p90/p99/max text
-//!   table), and [`metrics_json`] (counters + percentiles as JSON).
+//!   or `chrome://tracing`; repairs and counts spans torn by ring
+//!   overflow), [`write_summary`] (p50/p90/p99/max text table), and
+//!   [`metrics_json`] (counters + percentiles as JSON).
+//! * `revmon-analyze` — [`import_trace_jsonl`] (lossy-stream-tolerant
+//!   importer), [`reconstruct_episodes`] (priority-inversion episodes
+//!   classified by [`Resolution`], with inversion latency and
+//!   wasted-work accounting), and [`Analysis`] (episodes + per-monitor
+//!   contention profiles, rendered by [`write_report`],
+//!   [`analysis_json`], and [`write_prometheus`]).
 //!
-//! See `docs/observability.md` for the end-to-end guide.
+//! See `docs/observability.md` and `docs/analysis.md` for the
+//! end-to-end guides.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod analyze;
+mod episode;
 mod event;
 mod export;
 mod hist;
+mod import;
 mod latency;
 mod ring;
 mod sink;
 
+pub use analyze::{
+    analysis_json, monitor_label, write_prometheus, write_report, Analysis, ExactStats,
+    MonitorProfile,
+};
+pub use episode::{reconstruct_episodes, Episode, EpisodeBuilder, Resolution};
 pub use event::{Event, EventKind};
-pub use export::{metrics_json, write_chrome_trace, write_events_jsonl, write_summary};
+pub use export::{
+    metrics_json, write_chrome_trace, write_events_jsonl, write_summary, write_trace_jsonl,
+};
 pub use hist::Histogram;
+pub use import::{import_trace_jsonl, ImportWarnings, TraceImport};
 pub use latency::{Histograms, LatencyTracker};
 pub use ring::EventRing;
 pub use sink::{EventSink, TsUnit};

@@ -1,0 +1,103 @@
+//! Integration tests for the analyze layer: JSONL export → import
+//! round-trips losslessly on clean traces, and damaged traces degrade
+//! to counted warnings plus a usable analysis — never a panic.
+
+use revmon_obs::{
+    import_trace_jsonl, reconstruct_episodes, write_trace_jsonl, Analysis, Event, EventKind,
+    Resolution, TsUnit,
+};
+use std::collections::BTreeMap;
+
+fn ev(ts: u64, thread: u64, monitor: u64, kind: EventKind) -> Event {
+    Event { ts, thread, monitor, kind }
+}
+
+/// Every event-kind variant, exercising all payload shapes.
+fn full_vocabulary_trace() -> Vec<Event> {
+    vec![
+        ev(10, 1, 7, EventKind::Acquire),
+        ev(14, 3, 9, EventKind::Acquire),
+        ev(16, 3, 9, EventKind::NonRevocable),
+        ev(20, 2, 7, EventKind::Block),
+        ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+        ev(24, 4, 9, EventKind::Block),
+        ev(26, 9, 9, EventKind::InversionUnresolved { by: 4 }),
+        ev(28, 5, Event::NO_MONITOR, EventKind::DeadlockDetected { cycle_len: 2 }),
+        ev(28, 5, Event::NO_MONITOR, EventKind::DeadlockBroken),
+        ev(30, 1, 7, EventKind::Rollback { entries: 4, duration: 6 }),
+        ev(31, 2, 7, EventKind::Acquire),
+        ev(40, 2, 7, EventKind::Commit),
+        ev(40, 2, 7, EventKind::Release),
+    ]
+}
+
+#[test]
+fn jsonl_round_trip_is_lossless_on_clean_traces() {
+    let events = full_vocabulary_trace();
+    let mut names = BTreeMap::new();
+    names.insert(7u64, "queue".to_string());
+    names.insert(9u64, "log \"quoted\"".to_string());
+
+    let mut buf = Vec::new();
+    write_trace_jsonl(&mut buf, &events, TsUnit::VirtualTicks, &names).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+
+    let imp = import_trace_jsonl(&text);
+    assert_eq!(imp.warnings.total(), 0, "clean export produced warnings: {:?}", imp.warnings);
+    assert_eq!(imp.events, events, "events did not round-trip");
+    assert_eq!(imp.names, names, "name table did not round-trip");
+    assert_eq!(imp.ts_unit, Some(TsUnit::VirtualTicks));
+
+    // Round-trip again: export of the import is byte-identical.
+    let mut buf2 = Vec::new();
+    write_trace_jsonl(&mut buf2, &imp.events, imp.unit(), &imp.names).unwrap();
+    assert_eq!(text, String::from_utf8(buf2).unwrap());
+}
+
+#[test]
+fn corrupt_fixture_degrades_to_counted_warnings() {
+    let text = include_str!("fixtures/corrupt_trace.jsonl");
+    let imp = import_trace_jsonl(text);
+
+    // Damage census: one truncated line + one non-JSON line, one
+    // unknown kind, one backwards timestamp. The unknown meta kind
+    // (shard_map) passes through without a warning.
+    assert_eq!(imp.warnings.malformed_lines, 2, "warnings: {:?}", imp.warnings);
+    assert_eq!(imp.warnings.unknown_kinds, 1);
+    assert_eq!(imp.warnings.out_of_order, 1);
+    assert_eq!(imp.events.len(), 7);
+    assert_eq!(imp.ts_unit, Some(TsUnit::VirtualTicks));
+    assert_eq!(imp.names.get(&3).map(String::as_str), Some("queue"));
+
+    // The surviving events still analyze into the expected episode.
+    let episodes = reconstruct_episodes(&imp.events);
+    assert_eq!(episodes.len(), 1);
+    assert_eq!(episodes[0].resolution, Resolution::Revocation);
+    assert_eq!(episodes[0].wasted_entries, 4);
+
+    let a = Analysis::from_events(&imp.events);
+    assert_eq!(a.revocation_episodes(), 1);
+    assert_eq!(a.profiles[0].monitor, 3);
+}
+
+#[test]
+fn import_never_panics_on_fuzzed_prefixes() {
+    // Chop a clean export at every byte boundary: every prefix must
+    // import without panicking, with at most one malformed-line count
+    // (the torn final line).
+    let events = full_vocabulary_trace();
+    let mut buf = Vec::new();
+    write_trace_jsonl(&mut buf, &events, TsUnit::VirtualTicks, &BTreeMap::new()).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    for cut in 0..text.len() {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        let imp = import_trace_jsonl(&text[..cut]);
+        assert!(
+            imp.warnings.malformed_lines <= 1,
+            "prefix of len {cut} produced {:?}",
+            imp.warnings
+        );
+    }
+}

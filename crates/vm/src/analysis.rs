@@ -300,6 +300,7 @@ mod tests {
             }],
             n_statics: 2,
             volatile_statics: vec![],
+            class_names: Default::default(),
         };
         let t = analyze(&p);
         assert_eq!(t.elided_sites, 0, "irregular entry must force conservatism");

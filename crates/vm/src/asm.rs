@@ -95,6 +95,8 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
 
     let mut n_statics: u32 = 0;
     let mut volatile_statics: Vec<u32> = Vec::new();
+    let mut class_names: std::collections::BTreeMap<u32, String> =
+        std::collections::BTreeMap::new();
     let mut methods: Vec<Option<Method>> = vec![None; order.len()];
     let mut cur: Option<MethodAsm> = None;
 
@@ -112,6 +114,19 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             let s = parse_num(rest.trim(), ln)? as u32;
             volatile_statics.push(s);
             n_statics = n_statics.max(s + 1);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".class") {
+            let mut parts = rest.split_whitespace();
+            let tag =
+                parse_num(parts.next().ok_or_else(|| err(ln, ".class needs a tag"))?, ln)? as u32;
+            let name = parts.next().ok_or_else(|| err(ln, ".class needs a name after the tag"))?;
+            if parts.next().is_some() {
+                return Err(err(ln, ".class takes exactly a tag and a name"));
+            }
+            if class_names.insert(tag, name.to_string()).is_some() {
+                return Err(err(ln, format!("duplicate .class for tag {tag}")));
+            }
             continue;
         }
         if let Some(rest) = line.strip_prefix(".method") {
@@ -145,7 +160,7 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
         .zip(&order)
         .map(|(m, n)| m.unwrap_or_else(|| panic!("method {n} declared but unparsed")))
         .collect();
-    Ok(Program { methods, n_statics, volatile_statics })
+    Ok(Program { methods, n_statics, volatile_statics, class_names })
 }
 
 /// Strip comments and surrounding whitespace.

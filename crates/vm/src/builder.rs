@@ -496,12 +496,19 @@ pub struct ProgramBuilder {
     names: Vec<String>,
     n_statics: u32,
     volatile_statics: Vec<u32>,
+    class_names: std::collections::BTreeMap<u32, String>,
 }
 
 impl ProgramBuilder {
     /// Empty program.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Give class tag `tag` a human name; monitors on its instances are
+    /// labeled with it in analysis reports.
+    pub fn class_name(&mut self, tag: u32, name: &str) {
+        self.class_names.insert(tag, name.to_string());
     }
 
     /// Declare `n` static slots.
@@ -546,7 +553,12 @@ impl ProgramBuilder {
             .enumerate()
             .map(|(i, m)| m.unwrap_or_else(|| panic!("method {} has no body", self.names[i])))
             .collect();
-        Program { methods, n_statics: self.n_statics, volatile_statics: self.volatile_statics }
+        Program {
+            methods,
+            n_statics: self.n_statics,
+            volatile_statics: self.volatile_statics,
+            class_names: self.class_names,
+        }
     }
 }
 

@@ -295,6 +295,10 @@ pub struct Program {
     pub n_statics: u32,
     /// Static slots declared volatile.
     pub volatile_statics: Vec<u32>,
+    /// Class tag → human name (the assembler's `.class` directive).
+    /// Metadata only — execution never consults it; observability uses
+    /// it to label monitors in reports (see `Vm::monitor_names`).
+    pub class_names: std::collections::BTreeMap<u32, String>,
 }
 
 impl Program {

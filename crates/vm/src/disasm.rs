@@ -57,6 +57,9 @@ pub fn disassemble(p: &Program) -> String {
         p.n_statics,
         p.volatile_statics.len()
     );
+    for (tag, name) in &p.class_names {
+        let _ = writeln!(out, "class {tag}: {name}");
+    }
     for m in &p.methods {
         out.push('\n');
         out.push_str(&disassemble_method(m));

@@ -66,7 +66,12 @@ pub fn rewrite_program(p: &Program) -> Program {
         }
     }
 
-    Program { methods, n_statics: p.n_statics, volatile_statics: p.volatile_statics.clone() }
+    Program {
+        methods,
+        n_statics: p.n_statics,
+        volatile_statics: p.volatile_statics.clone(),
+        class_names: p.class_names.clone(),
+    }
 }
 
 /// Build the non-synchronized wrapper for a synchronized method.

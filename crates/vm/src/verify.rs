@@ -404,6 +404,7 @@ mod tests {
             }],
             n_statics: 4,
             volatile_statics: vec![],
+            class_names: Default::default(),
         }
     }
 

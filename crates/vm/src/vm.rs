@@ -407,6 +407,39 @@ impl Vm {
         &self.heap
     }
 
+    /// Monitor id → human name, for analysis reports.
+    ///
+    /// Monitor ids in the event stream are heap `ObjRef`s; names come
+    /// from the program's class-name table (the assembler's
+    /// `.class <tag> <name>` directive or `ProgramBuilder::class_name`).
+    /// A lone instance of a named class gets the bare class name;
+    /// multiple instances are numbered in allocation order (`name#0`,
+    /// `name#1`, …), which is deterministic under the deterministic
+    /// scheduler. Objects of unnamed classes are omitted.
+    pub fn monitor_names(&self) -> std::collections::BTreeMap<u64, String> {
+        let mut totals: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        let tag_of =
+            |i: usize| self.heap.object(crate::value::ObjRef(i as u32)).ok().map(|o| o.class_tag);
+        for i in 0..self.heap.object_count() {
+            if let Some(tag) = tag_of(i) {
+                if self.program.class_names.contains_key(&tag) {
+                    *totals.entry(tag).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut seen: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        let mut names = std::collections::BTreeMap::new();
+        for i in 0..self.heap.object_count() {
+            let Some(tag) = tag_of(i) else { continue };
+            let Some(base) = self.program.class_names.get(&tag) else { continue };
+            let ordinal = seen.entry(tag).or_insert(0);
+            let name = if totals[&tag] == 1 { base.clone() } else { format!("{base}#{ordinal}") };
+            *ordinal += 1;
+            names.insert(i as u64, name);
+        }
+        names
+    }
+
     /// Spawn a thread executing `method(args…)` at `priority`.
     pub fn spawn(
         &mut self,

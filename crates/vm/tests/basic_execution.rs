@@ -546,6 +546,7 @@ fn try_new_surfaces_verification_errors() {
         }],
         n_statics: 0,
         volatile_statics: vec![],
+        class_names: Default::default(),
     };
     let errs = Vm::try_new(p, VmConfig::unmodified()).err().expect("must fail");
     assert!(!errs.is_empty());
