@@ -6,6 +6,7 @@
 //!        [--policy blocking|revocation|inherit|ceiling=N]
 //!        [--sched rr|prio] [--queue pq|fifo] [--detect acq|bg=N]
 //!        [--seed N] [--quantum N] [--max-steps N]
+//!        [--governor k=K,backoff=TICKS[,decay=TICKS]]
 //!        [--elide] [--sticky] [--trace] [--stats]
 //!        [--trace-out events.jsonl] [--chrome-trace out.json]
 //!        [--metrics-json metrics.json] [--prometheus out.prom]
@@ -15,6 +16,7 @@
 //!        [--replay file.schedule.json] [--minimize]
 //!        [--save-failure out.schedule.json] [--fault-skip-undo N]
 //!        [--policy ...] [--seed N] [--quantum N] [--max-steps N]
+//!        [--governor k=K,backoff=TICKS[,decay=TICKS]]
 //!        [--stats] [--metrics-json metrics.json]
 //! revmon demo [--low N] [--high N] [--sections N] [--stats] [--watch]
 //!        [--trace-out events.jsonl] [--chrome-trace out.json]
@@ -39,7 +41,7 @@
 //! be minimized and saved as replayable `.schedule.json` artifacts. See
 //! `docs/exploration.md`.
 
-use revmon_core::{DetectionStrategy, InversionPolicy, Priority, QueueDiscipline};
+use revmon_core::{DetectionStrategy, GovernorConfig, InversionPolicy, Priority, QueueDiscipline};
 use revmon_obs::{EventSink, TsUnit};
 use revmon_vm::{
     assemble, disassemble, rewrite_program, verify_program, SchedulerKind, Vm, VmConfig,
@@ -230,9 +232,39 @@ fn parse_vm_config(opts: &[String]) -> Result<VmConfig, String> {
     if let Some(m) = get_opt(opts, "--max-steps")? {
         cfg.max_steps = m.parse().map_err(|_| "bad max-steps".to_string())?;
     }
+    if let Some(g) = get_opt(opts, "--governor")? {
+        cfg.governor = parse_governor(&g)?;
+    }
     cfg.elide_barriers = has_flag(opts, "--elide");
     cfg.sticky_nonrevocable = has_flag(opts, "--sticky");
     cfg.trace = has_flag(opts, "--trace");
+    Ok(cfg)
+}
+
+/// Parse `--governor k=K,backoff=TICKS[,decay=TICKS]` into a
+/// [`GovernorConfig`]. `k` is required and must be positive (a disabled
+/// governor is the default; asking for one explicitly is a mistake).
+fn parse_governor(spec: &str) -> Result<GovernorConfig, String> {
+    let mut cfg = GovernorConfig::disabled();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) =
+            part.split_once('=').ok_or_else(|| format!("--governor: `{part}` is not key=value"))?;
+        let parse = |what: &str| -> Result<u64, String> {
+            value.parse().map_err(|_| format!("--governor: bad {what} `{value}`"))
+        };
+        match key {
+            "k" => {
+                cfg.k = u32::try_from(parse("retry budget")?)
+                    .map_err(|_| format!("--governor: k `{value}` out of range"))?
+            }
+            "backoff" => cfg.backoff = parse("backoff window")?,
+            "decay" => cfg.decay = parse("decay window")?,
+            o => return Err(format!("--governor: unknown key `{o}` (expected k, backoff, decay)")),
+        }
+    }
+    if !cfg.enabled() {
+        return Err("--governor needs k=<positive retry budget>".into());
+    }
     Ok(cfg)
 }
 
@@ -331,7 +363,12 @@ fn run_analyze(file: &str, opts: &[String]) -> Result<(), String> {
     if imp.events.is_empty() {
         return Err(format!("{file}: no importable events"));
     }
-    let analysis = revmon_obs::Analysis::from_events(&imp.events);
+    let mut analysis = revmon_obs::Analysis::from_events(&imp.events);
+    // Damaged (thread, monitor) pairs cannot be classified honestly —
+    // their resolution events may be among the skipped lines — so their
+    // unresolved verdicts are reported as `truncated`, not as real
+    // inversions the runtime failed to resolve.
+    analysis.mark_truncated(&imp.damaged, imp.warnings.total());
     let unit = imp.unit();
     if has_flag(opts, "--json") {
         print!("{}", revmon_obs::analysis_json(&analysis, &imp.names, unit));

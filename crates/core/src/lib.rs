@@ -27,13 +27,16 @@
 //!   selection,
 //! * [`cost`]     — the virtual-clock cost model used by the simulator,
 //! * [`metrics`]  — counters and small statistics helpers (means,
-//!   confidence intervals) used by the benchmark harness.
+//!   confidence intervals) used by the benchmark harness,
+//! * [`governor`] — the adaptive revocation governor (bounded retries,
+//!   exponential backoff, per-monitor fallback to blocking).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod cost;
 pub mod deadlock;
+pub mod governor;
 pub mod metrics;
 pub mod policy;
 pub mod priority;
@@ -42,6 +45,7 @@ pub mod undo;
 
 pub use cost::CostModel;
 pub use deadlock::{Victim, WaitsForGraph};
+pub use governor::{Governor, GovernorConfig, GovernorVerdict};
 pub use metrics::Metrics;
 pub use policy::{DetectionStrategy, InversionPolicy, QueueDiscipline};
 pub use priority::{MonitorId, Priority, ThreadId};

@@ -95,6 +95,10 @@ define_metrics! {
     deadlocks_broken,
     /// Priority boosts applied (priority-inheritance baseline).
     priority_boosts,
+    /// Revocations denied by the governor's retry budget.
+    governor_throttles,
+    /// Fresh fallback-to-blocking windows opened by the governor.
+    policy_fallbacks,
 }
 
 /// Arithmetic mean of `xs`. Returns 0.0 for an empty slice.

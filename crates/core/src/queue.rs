@@ -103,6 +103,21 @@ impl<T> PrioritizedQueue<T> {
         }
     }
 
+    /// Change the queued-at priority of an already-waiting item *in
+    /// place*, preserving its arrival order. Priority inheritance must
+    /// use this rather than remove + re-push: a re-push assigns a fresh
+    /// arrival sequence, which silently demotes the boosted waiter
+    /// behind later arrivals of the same priority class. Returns true
+    /// if a matching waiter was found.
+    pub fn reprioritize(&mut self, mut pred: impl FnMut(&T) -> bool, priority: Priority) -> bool {
+        if let Some(w) = self.waiters.iter_mut().find(|w| pred(&w.item)) {
+            w.priority = priority;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Number of waiters.
     pub fn len(&self) -> usize {
         self.waiters.len()
@@ -130,8 +145,10 @@ impl<T> PrioritizedQueue<T> {
     }
 
     /// Internal-consistency check: arrival sequence numbers must be
-    /// strictly increasing front-to-back (re-prioritization re-pushes,
-    /// so this holds for every reachable queue state).
+    /// strictly increasing front-to-back
+    /// ([`reprioritize`](Self::reprioritize) mutates priority in place
+    /// and never reorders, so this holds for every reachable queue
+    /// state).
     pub fn is_well_formed(&self) -> bool {
         self.waiters.iter().zip(self.waiters.iter().skip(1)).all(|(a, b)| a.seq < b.seq)
             && self.waiters.iter().all(|w| w.seq < self.next_seq)
@@ -208,5 +225,92 @@ mod tests {
         assert_eq!(q.pop(), Some("h"));
         assert_eq!(q.pop(), Some("n"));
         assert_eq!(q.pop(), Some("l"));
+    }
+
+    #[test]
+    fn reprioritize_preserves_arrival_order_within_class() {
+        let mut q = PrioritizedQueue::new(QueueDiscipline::Priority);
+        q.push("a", Priority::LOW);
+        q.push("b", Priority::HIGH);
+        q.push("c", Priority::HIGH);
+        // Boost "a" to HIGH in place: it arrived first, so it must now
+        // be served before both b and c. A remove + re-push would have
+        // pushed it behind c.
+        assert!(q.reprioritize(|&x| x == "a", Priority::HIGH));
+        assert!(q.is_well_formed());
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some("c"));
+        // Missing items report false without disturbing the queue.
+        assert!(!q.reprioritize(|&x| x == "zzz", Priority::MAX));
+    }
+
+    /// Property test: over randomized interleavings of push / pop /
+    /// reprioritize, same-priority waiters always come out in arrival
+    /// order. Uses a deterministic LCG so failures are reproducible.
+    #[test]
+    fn fifo_within_class_holds_under_random_operations() {
+        let mut rng: u64 = 0x9e3779b97f4a7c15;
+        let mut next = |bound: u64| {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) % bound
+        };
+        for _round in 0..200 {
+            let mut q: PrioritizedQueue<u64> = PrioritizedQueue::new(QueueDiscipline::Priority);
+            // Model: per item, (priority, arrival stamp).
+            let mut model: Vec<(u64, Priority, u64)> = Vec::new();
+            let mut stamp = 0u64;
+            let mut next_item = 0u64;
+            for _op in 0..64 {
+                match next(4) {
+                    0 | 1 => {
+                        let p = Priority::new(1 + next(3) as u8);
+                        let item = next_item;
+                        next_item += 1;
+                        q.push(item, p);
+                        model.push((item, p, stamp));
+                        stamp += 1;
+                    }
+                    2 if !model.is_empty() => {
+                        // Reprioritize a random queued item in place:
+                        // priority changes, arrival stamp must not.
+                        let i = next(model.len() as u64) as usize;
+                        let p = Priority::new(1 + next(3) as u8);
+                        let (item, _, s) = model[i];
+                        assert!(q.reprioritize(|&x| x == item, p));
+                        model[i] = (item, p, s);
+                    }
+                    _ => {
+                        let expect = model
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, &(_, p, s))| (p, std::cmp::Reverse(s)))
+                            .map(|(i, _)| i);
+                        let got = q.pop();
+                        match expect {
+                            Some(i) => {
+                                let (item, _, _) = model.remove(i);
+                                assert_eq!(got, Some(item), "pop violated FIFO-within-class");
+                            }
+                            None => assert_eq!(got, None),
+                        }
+                    }
+                }
+                assert!(q.is_well_formed());
+            }
+            // Drain: remaining items must come out priority-major,
+            // arrival-minor.
+            while let Some(got) = q.pop() {
+                let i = model
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &(_, p, s))| (p, std::cmp::Reverse(s)))
+                    .map(|(i, _)| i)
+                    .expect("queue had more items than the model");
+                let (item, _, _) = model.remove(i);
+                assert_eq!(got, item, "drain violated FIFO-within-class");
+            }
+            assert!(model.is_empty());
+        }
     }
 }

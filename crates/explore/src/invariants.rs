@@ -48,6 +48,25 @@ pub fn check_state(vm: &Vm) -> Vec<Violation> {
     let mut v = Vec::new();
     let threads = vm.vm_threads();
 
+    // Bounded revocation (no livelock by repeat-revocation): under an
+    // enabled governor with retry budget `k`, no `(monitor, holder)`
+    // pair's consecutive-revocation streak may ever exceed `k` — the
+    // consult that would start revocation `k + 1` must have answered
+    // `Fallback`, sending the contender to the prioritized entry queue.
+    let gov = vm.config().governor;
+    if gov.enabled() {
+        let streak = vm.governor().max_streak();
+        if streak > gov.k {
+            v.push(Violation {
+                invariant: "bounded-revocation",
+                detail: format!(
+                    "revocation streak {streak} exceeds the governor budget k={}",
+                    gov.k
+                ),
+            });
+        }
+    }
+
     for (obj, m) in vm.monitor_table().iter() {
         // Monitor-header state machine: owner and recursion move together.
         match m.owner {

@@ -8,7 +8,7 @@
 //! point with more than one runnable thread becomes a decision point.
 
 use crate::runner::Runner;
-use revmon_core::CostModel;
+use revmon_core::{CostModel, GovernorConfig};
 use revmon_vm::builder::{MethodBuilder, ProgramBuilder};
 use revmon_vm::bytecode::{NativeOp, Program};
 use revmon_vm::VmConfig;
@@ -108,6 +108,34 @@ pub fn faulty_inversion_pair(skip: u32) -> Runner {
     spawn_and_join(&mut pb, worker, &[2, 8]);
     let mut cfg = explore_config();
     cfg.fault_skip_undo = skip;
+    Runner::new(pb.finish(), "main", cfg).expect("valid program")
+}
+
+/// Pathological repeat-revocation miniature: two equal-priority threads
+/// each run a short synchronized section, and the test-only
+/// `fault_force_inversion` flag makes the VM treat *every* contended
+/// acquire as a priority inversion — so each contender revokes the
+/// holder and the pair can ping-pong rollbacks forever. Ungoverned
+/// (`GovernorConfig::disabled()`), the fair schedule livelocks (the
+/// runner's round budget catches it). With a retry budget `k`, every
+/// schedule completes, the `bounded-revocation` invariant holds at
+/// every state, and both increments commit exactly once per thread.
+pub fn forced_repeat_revocation(governor: GovernorConfig) -> Runner {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(1);
+    let worker = pb.declare_method("worker", 1);
+    let mut b = MethodBuilder::new(1, 1);
+    b.sync_on_local(0, |b| {
+        b.add_static(0, 1);
+        b.const_i(4);
+        b.work();
+    });
+    b.ret_void();
+    pb.implement(worker, b);
+    spawn_and_join(&mut pb, worker, &[5, 5]);
+    let mut cfg = explore_config();
+    cfg.fault_force_inversion = true;
+    cfg.governor = governor;
     Runner::new(pb.finish(), "main", cfg).expect("valid program")
 }
 

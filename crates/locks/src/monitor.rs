@@ -37,7 +37,7 @@ use crate::signal::{as_rollback, RollbackSignal};
 use crate::stats::{MonitorStats, StatsSnapshot};
 use crate::tx::{self, SectionCtx, Tx};
 use parking_lot::{Mutex, MutexGuard};
-use revmon_core::{InversionPolicy, Priority};
+use revmon_core::{Governor, GovernorConfig, GovernorVerdict, InversionPolicy, Priority};
 use revmon_obs::EventKind;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -160,6 +160,13 @@ pub struct RevocableMonitor {
     word: AtomicU64,
     /// Fat representation; authoritative only while `word` is inflated.
     state: Mutex<MState>,
+    /// Whether the revocation governor is enabled — a relaxed load keeps
+    /// the commit/rollback hot paths free of the governor mutex when the
+    /// monitor is ungoverned (the default).
+    governed: std::sync::atomic::AtomicBool,
+    /// Adaptive revocation governor: config + per-holder history. Leaf
+    /// lock, acquired (rarely) with or without `state` held.
+    governor: Mutex<(GovernorConfig, Governor)>,
     pub(crate) stats: Arc<MonitorStats>,
 }
 
@@ -185,6 +192,8 @@ impl RevocableMonitor {
             policy,
             word: AtomicU64::new(0),
             state: Mutex::new(MState::default()),
+            governed: std::sync::atomic::AtomicBool::new(false),
+            governor: Mutex::new((GovernorConfig::disabled(), Governor::new())),
             stats,
         }
     }
@@ -218,6 +227,58 @@ impl RevocableMonitor {
     /// Counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.reconciled_snapshot()
+    }
+
+    /// Configure the adaptive revocation governor for this monitor
+    /// (`GovernorConfig::disabled()` turns it back off). `backoff` and
+    /// `decay` are in nanoseconds on this runtime (the observability
+    /// clock). Takes effect for subsequent contention; accumulated
+    /// per-holder history is kept.
+    pub fn set_governor(&self, cfg: GovernorConfig) {
+        let mut g = self.governor.lock();
+        g.0 = cfg;
+        self.governed.store(cfg.enabled(), Ordering::Relaxed);
+    }
+
+    /// Largest current consecutive-revocation streak the governor has
+    /// tracked on this monitor (0 when ungoverned). Under a budget of
+    /// `k` this never exceeds `k` — the bounded-revocation guarantee.
+    pub fn governor_max_streak(&self) -> u32 {
+        self.governor.lock().1.max_streak()
+    }
+
+    /// Consult the governor about revoking the holder (identified by its
+    /// observability id). A denial is counted, emitted, and answered
+    /// `false`: the contender must block on the prioritized queue.
+    fn governor_allows(&self, holder_obs: u64) -> bool {
+        if !self.governed.load(Ordering::Relaxed) {
+            return true;
+        }
+        let verdict = {
+            let mut g = self.governor.lock();
+            let (cfg, gov) = &mut *g;
+            gov.consult(*cfg, self.id, holder_obs, obs::now_ns())
+        };
+        match verdict {
+            GovernorVerdict::Allow => true,
+            GovernorVerdict::Fallback { fresh } => {
+                self.stats.governor_throttles.fetch_add(1, Ordering::Relaxed);
+                if fresh {
+                    self.stats.policy_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+                if obs::enabled() {
+                    obs::emit_for(
+                        holder_obs,
+                        self.id,
+                        EventKind::GovernorThrottle { by: obs::obs_tid() },
+                    );
+                    if fresh {
+                        obs::emit_for(holder_obs, self.id, EventKind::PolicyFallback);
+                    }
+                }
+                false
+            }
+        }
     }
 
     /// Execute `f` inside the monitor at `priority`.
@@ -524,7 +585,7 @@ impl RevocableMonitor {
                     if let Some(top) =
                         s.queue.iter().max_by_key(|w| (w.priority, std::cmp::Reverse(w.seq)))
                     {
-                        if top.priority > eff {
+                        if top.priority > eff && self.governor_allows(slot.obs) {
                             let by = top.obs;
                             ctx.revoke.store(true, Ordering::Release);
                             slot.pending_revoke.store(true, Ordering::Release);
@@ -551,7 +612,17 @@ impl RevocableMonitor {
                 InversionPolicy::Revocation => {
                     if eff > s.holder_priority {
                         if let Some(target) = s.holder_ctxs.first() {
-                            if target.revocable() {
+                            let holder_obs = s.owner_slot.as_ref().map_or(0, |o| o.obs);
+                            if !target.revocable() {
+                                self.stats.inversions_unresolved.fetch_add(1, Ordering::Relaxed);
+                                if obs::enabled() {
+                                    obs::emit_for(
+                                        holder_obs,
+                                        self.id,
+                                        EventKind::InversionUnresolved { by: obs::obs_tid() },
+                                    );
+                                }
+                            } else if self.governor_allows(holder_obs) {
                                 // Section flag first, cached thread flag
                                 // second (both Release): the holder's
                                 // slow poll consumes the cached flag and
@@ -565,9 +636,8 @@ impl RevocableMonitor {
                                         .revocations_requested
                                         .fetch_add(1, Ordering::Relaxed);
                                     if obs::enabled() {
-                                        let owner_obs = s.owner_slot.as_ref().map_or(0, |o| o.obs);
                                         obs::emit_for(
-                                            owner_obs,
+                                            holder_obs,
                                             self.id,
                                             EventKind::RevokeRequest { by: obs::obs_tid() },
                                         );
@@ -579,16 +649,6 @@ impl RevocableMonitor {
                                     // parked so it reaches a yield point
                                     // promptly.
                                     holder.handle.unpark();
-                                }
-                            } else {
-                                self.stats.inversions_unresolved.fetch_add(1, Ordering::Relaxed);
-                                if obs::enabled() {
-                                    let owner_obs = s.owner_slot.as_ref().map_or(0, |o| o.obs);
-                                    obs::emit_for(
-                                        owner_obs,
-                                        self.id,
-                                        EventKind::InversionUnresolved { by: obs::obs_tid() },
-                                    );
                                 }
                             }
                         }
@@ -700,6 +760,10 @@ impl RevocableMonitor {
             // Mirror the VM's trace semantics: one Commit per retired
             // undo log, i.e. per outermost section exit.
             obs::emit(self.id, EventKind::Commit);
+            if self.governed.load(Ordering::Relaxed) {
+                let obs_id = tx::my_slot().obs;
+                self.governor.lock().1.record_commit(self.id, obs_id, obs::now_ns());
+            }
         }
         self.fast_release(ctx);
     }
@@ -707,12 +771,24 @@ impl RevocableMonitor {
     /// Restore shared state *before* releasing (§3.1.2), then release
     /// one recursion level.
     fn rollback_and_release(&self, ctx: &Arc<SectionCtx>) {
-        let t0 = obs::enabled().then(obs::now_ns);
+        let governed = self.governed.load(Ordering::Relaxed);
+        let t0 = (obs::enabled() || governed).then(obs::now_ns);
         let n = tx::rollback_section(ctx);
         self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
         self.stats.entries_rolled_back.fetch_add(n as u64, Ordering::Relaxed);
-        if let Some(t0) = t0 {
+        if let Some(t0) = t0.filter(|_| obs::enabled()) {
             self.emit_rollback(n as u64, t0);
+        }
+        if governed {
+            let obs_id = tx::my_slot().obs;
+            let now = obs::now_ns();
+            // Discarded time ≈ the rollback's own duration on this
+            // runtime (sections carry no entry timestamp); undo entries
+            // are the primary waste measure.
+            let wasted = now.saturating_sub(t0.unwrap_or(now));
+            let mut g = self.governor.lock();
+            let (cfg, gov) = &mut *g;
+            gov.record_revocation(*cfg, self.id, obs_id, now, n as u64, wasted);
         }
         tx::exit_section(ctx);
         self.fast_release(ctx);
@@ -747,11 +823,22 @@ impl RevocableMonitor {
     }
 
     /// Deflate back to a thin word when the fat state holds nothing a
-    /// thin word cannot express. Caller must hold the state lock with
-    /// the word inflated.
+    /// thin word cannot express. Caller must hold the state lock.
+    ///
+    /// CAS, not a blind store: one caller (the post-park unwind path in
+    /// `acquire_slow`) takes the state lock *without* re-freezing the
+    /// word, so by the time it gets the lock another thread may already
+    /// have deflated the monitor and a fast-path `enter` may have
+    /// claimed the word thin. Overwriting that thin ownership record
+    /// with 0 would let a second thread acquire the same monitor. The
+    /// CAS only deflates a word still frozen `INFLATED`.
     fn maybe_deflate(&self, s: &mut MState) {
-        if s.owner.is_none() && s.grant.is_none() && s.queue.is_empty() && s.wait_set.is_empty() {
-            self.word.store(0, Ordering::Release);
+        if s.owner.is_none()
+            && s.grant.is_none()
+            && s.queue.is_empty()
+            && s.wait_set.is_empty()
+            && self.word.compare_exchange(INFLATED, 0, Ordering::AcqRel, Ordering::Relaxed).is_ok()
+        {
             self.stats.deflations.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -105,6 +105,11 @@ define_stats! {
     deadlocks_broken,
     /// Priority-inheritance / ceiling boosts applied.
     priority_boosts,
+    /// Revocations denied by the governor's retry budget (the contender
+    /// blocked on the prioritized queue instead).
+    governor_throttles,
+    /// Fresh fallback-to-blocking windows the governor opened.
+    policy_fallbacks,
 }
 
 #[cfg(test)]

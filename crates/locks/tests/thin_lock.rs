@@ -172,6 +172,71 @@ fn recursive_enter_while_inflated_keeps_recursion_exact() {
     assert_eq!(st.rollbacks, 0, "equal priorities: no revocation");
 }
 
+/// Regression stress for the deflate-after-drain race: the post-park
+/// unwind path in `acquire_slow` (a waiter revoked through an enclosing
+/// section) takes the state lock without re-freezing the word, then
+/// calls `maybe_deflate`. If deflation blindly stored 0 instead of
+/// CASing from `INFLATED`, it could wipe a thin ownership record claimed
+/// by a concurrent fast-path enter, handing the monitor to two threads
+/// at once — here surfacing as lost updates on `b`.
+///
+/// The mix below drives that exact window: low threads nest
+/// outer→inner, high threads revoke them on `outer` (so they wake
+/// parked on `inner`'s queue and unwind), and thin threads hammer
+/// `inner`'s fast path the whole time.
+#[test]
+fn deflation_race_under_nested_revocation_stress() {
+    const ITERS: i64 = 150;
+    let outer = Arc::new(RevocableMonitor::new());
+    let inner = Arc::new(RevocableMonitor::new());
+    let a = Arc::new(TCell::new(0i64));
+    let b = Arc::new(TCell::new(0i64));
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let (outer, inner) = (Arc::clone(&outer), Arc::clone(&inner));
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        handles.push(thread::spawn(move || {
+            for _ in 0..ITERS {
+                outer.enter(Priority::LOW, |tx| {
+                    tx.update(&a, |v| v + 1);
+                    inner.enter(Priority::LOW, |tx2| {
+                        tx2.update(&b, |v| v + 1);
+                    });
+                });
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let outer = Arc::clone(&outer);
+        let a = Arc::clone(&a);
+        handles.push(thread::spawn(move || {
+            for _ in 0..ITERS {
+                outer.enter(Priority::HIGH, |tx| {
+                    tx.read(&a);
+                });
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let inner = Arc::clone(&inner);
+        let b = Arc::clone(&b);
+        handles.push(thread::spawn(move || {
+            for _ in 0..ITERS {
+                inner.enter(Priority::NORM, |tx| tx.update(&b, |v| v + 1));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(a.read_unsynchronized(), 2 * ITERS, "outer updates lost");
+    assert_eq!(
+        b.read_unsynchronized(),
+        4 * ITERS,
+        "inner updates lost: a deflation stomped a thin owner"
+    );
+}
+
 #[test]
 fn enter_cas_races_never_lose_an_update() {
     // Many threads hammer the same monitor from a barrier start: every

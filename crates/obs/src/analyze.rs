@@ -43,6 +43,10 @@ pub struct MonitorProfile {
     pub commits: u64,
     /// Inversions flagged unresolvable (non-revocable holder).
     pub unresolved: u64,
+    /// Revocations denied by the governor's retry budget.
+    pub governor_throttles: u64,
+    /// Fresh fallback-to-blocking windows the governor opened here.
+    pub policy_fallbacks: u64,
     /// Undo entries restored by this monitor's rollbacks.
     pub wasted_entries: u64,
     /// Total clock units threads spent blocked on the entry queue.
@@ -63,6 +67,8 @@ impl MonitorProfile {
             rollbacks: 0,
             commits: 0,
             unresolved: 0,
+            governor_throttles: 0,
+            policy_fallbacks: 0,
             wasted_entries: 0,
             total_blocked: 0,
             blocking: Histogram::new(),
@@ -132,6 +138,14 @@ pub struct Analysis {
     pub wasted_entries: u64,
     /// Total discarded section time across all episodes.
     pub wasted_time: u64,
+    /// Revocations the governor denied across all episodes.
+    pub governor_throttles: u64,
+    /// Fallback-to-blocking windows the governor opened.
+    pub policy_fallbacks: u64,
+    /// Trace lines the importer skipped (damage on disk). Nonzero means
+    /// `unresolved` verdicts may be truncation artifacts — see
+    /// [`Analysis::mark_truncated`].
+    pub skipped_lines: u64,
 }
 
 impl Analysis {
@@ -178,6 +192,8 @@ impl Analysis {
                     }
                 }
                 EventKind::InversionUnresolved { .. } => p.unresolved += 1,
+                EventKind::GovernorThrottle { .. } => p.governor_throttles += 1,
+                EventKind::PolicyFallback => p.policy_fallbacks += 1,
                 EventKind::NonRevocable
                 | EventKind::DeadlockDetected { .. }
                 | EventKind::DeadlockBroken => {}
@@ -188,12 +204,16 @@ impl Analysis {
         let mut inversion_latency = ExactStats::default();
         let mut wasted_entries = 0;
         let mut wasted_time = 0;
+        let mut governor_throttles = 0;
+        let mut policy_fallbacks = 0;
         for e in &episodes {
             if let Some(l) = e.latency() {
                 inversion_latency.push(l);
             }
             wasted_entries += e.wasted_entries;
             wasted_time += e.wasted_time;
+            governor_throttles += e.governor_throttles;
+            policy_fallbacks += e.policy_fallbacks;
         }
 
         let mut profiles: Vec<MonitorProfile> = profiles.into_values().collect();
@@ -208,11 +228,41 @@ impl Analysis {
             inversion_latency,
             wasted_entries,
             wasted_time,
+            governor_throttles,
+            policy_fallbacks,
+            skipped_lines: 0,
+        }
+    }
+
+    /// Reclassify truncation artifacts after a damaged import.
+    ///
+    /// An episode whose holder or requester lost events to skipped trace
+    /// lines (`damaged` pairs from `TraceImport`) and ended `Unresolved`
+    /// is not evidence of an unresolvable inversion — the resolving
+    /// events may simply be missing. Flip those verdicts to
+    /// [`Resolution::Truncated`] so damage reads as damage, not as a
+    /// protocol failure. `skipped_lines` is surfaced in every renderer.
+    pub fn mark_truncated(
+        &mut self,
+        damaged: &std::collections::BTreeSet<(u64, u64)>,
+        skipped_lines: u64,
+    ) {
+        self.skipped_lines = skipped_lines;
+        if damaged.is_empty() {
+            return;
+        }
+        for e in &mut self.episodes {
+            if e.resolution == Resolution::Unresolved
+                && (damaged.contains(&(e.holder, e.monitor))
+                    || damaged.contains(&(e.requester, e.monitor)))
+            {
+                e.resolution = Resolution::Truncated;
+            }
         }
     }
 
     /// Episode count per resolution, in [`Resolution::ALL`] order.
-    pub fn resolution_counts(&self) -> [(Resolution, u64); 4] {
+    pub fn resolution_counts(&self) -> [(Resolution, u64); 5] {
         Resolution::ALL
             .map(|r| (r, self.episodes.iter().filter(|e| e.resolution == r).count() as u64))
     }
@@ -243,6 +293,14 @@ pub fn write_report<W: Write>(
     writeln!(w, "trace: {} events over {} {u}", a.events, a.last_ts)?;
     let census: Vec<String> = a.kind_counts.iter().map(|(k, n)| format!("{n} {k}")).collect();
     writeln!(w, "  {}", census.join(", "))?;
+    if a.skipped_lines > 0 {
+        writeln!(
+            w,
+            "  damage: {} skipped lines — unresolved verdicts on damaged pairs \
+             reported as truncated",
+            a.skipped_lines
+        )?;
+    }
 
     writeln!(w, "\ninversion episodes: {}", a.episodes.len())?;
     for (r, n) in a.resolution_counts() {
@@ -269,6 +327,13 @@ pub fn write_report<W: Write>(
     if worst_repeat > 1 {
         writeln!(w, "  livelock signal: an episode needed {worst_repeat} revoke requests")?;
     }
+    if a.governor_throttles > 0 || a.policy_fallbacks > 0 {
+        writeln!(
+            w,
+            "  governed: {} revocations throttled, {} fallback windows opened",
+            a.governor_throttles, a.policy_fallbacks
+        )?;
+    }
 
     for e in &a.episodes {
         let end = match e.end {
@@ -281,10 +346,18 @@ pub fn write_report<W: Write>(
         };
         let requester =
             if e.requester == Event::NO_THREAD { "?".into() } else { format!("t{}", e.requester) };
+        let governed = if e.governor_throttles > 0 || e.policy_fallbacks > 0 {
+            format!(
+                ", governed ({} throttled, {} fallbacks)",
+                e.governor_throttles, e.policy_fallbacks
+            )
+        } else {
+            String::new()
+        };
         writeln!(
             w,
             "  [{:>8}..{:>8}] monitor {:<12} {:<16} {requester} vs t{}: latency {lat}, \
-             {} rollbacks, {} undo entries, {} {u} wasted",
+             {} rollbacks, {} undo entries, {} {u} wasted{governed}",
             e.start,
             end,
             monitor_label(names, e.monitor),
@@ -325,6 +398,7 @@ pub fn analysis_json(a: &Analysis, names: &BTreeMap<u64, String>, unit: TsUnit) 
     out.push_str(&format!("  \"events\": {},\n", a.events));
     out.push_str(&format!("  \"ts_unit\": \"{}\",\n", unit.suffix()));
     out.push_str(&format!("  \"span\": {},\n", a.last_ts));
+    out.push_str(&format!("  \"skipped_lines\": {},\n", a.skipped_lines));
 
     out.push_str("  \"kinds\": {");
     let census: Vec<String> = a.kind_counts.iter().map(|(k, n)| format!("\"{k}\": {n}")).collect();
@@ -345,8 +419,12 @@ pub fn analysis_json(a: &Analysis, names: &BTreeMap<u64, String>, unit: TsUnit) 
         a.inversion_latency.max(),
     ));
     out.push_str(&format!(
-        "    \"wasted_entries\": {},\n    \"wasted_time\": {}\n  }},\n",
+        "    \"wasted_entries\": {},\n    \"wasted_time\": {},\n",
         a.wasted_entries, a.wasted_time
+    ));
+    out.push_str(&format!(
+        "    \"governor_throttles\": {},\n    \"policy_fallbacks\": {}\n  }},\n",
+        a.governor_throttles, a.policy_fallbacks
     ));
 
     out.push_str("  \"episodes\": [\n");
@@ -375,7 +453,8 @@ pub fn analysis_json(a: &Analysis, names: &BTreeMap<u64, String>, unit: TsUnit) 
                 "    {{\"monitor\": {}, \"monitor_name\": {name}, \"holder\": {}, \
                  \"requester\": {requester}, \"start\": {}, \"end\": {end}, \
                  \"resolution\": \"{}\", \"latency\": {latency}, \"rollbacks\": {}, \
-                 \"wasted_entries\": {}, \"wasted_time\": {}, \"revoke_requests\": {}}}",
+                 \"wasted_entries\": {}, \"wasted_time\": {}, \"revoke_requests\": {}, \
+                 \"governor_throttles\": {}, \"policy_fallbacks\": {}}}",
                 e.monitor,
                 e.holder,
                 e.start,
@@ -384,6 +463,8 @@ pub fn analysis_json(a: &Analysis, names: &BTreeMap<u64, String>, unit: TsUnit) 
                 e.wasted_entries,
                 e.wasted_time,
                 e.revoke_requests,
+                e.governor_throttles,
+                e.policy_fallbacks,
             )
         })
         .collect();
@@ -475,6 +556,16 @@ pub fn write_prometheus<W: Write>(
         (a.inversion_latency.mean() * a.inversion_latency.count() as f64).round() as u64
     )?;
     writeln!(w, "revmon_inversion_latency_{u}_count {}", a.inversion_latency.count())?;
+
+    writeln!(w, "# HELP revmon_governor_throttles_total Revocations denied by the governor.")?;
+    writeln!(w, "# TYPE revmon_governor_throttles_total counter")?;
+    writeln!(w, "revmon_governor_throttles_total {}", a.governor_throttles)?;
+    writeln!(w, "# HELP revmon_policy_fallbacks_total Fallback-to-blocking windows opened.")?;
+    writeln!(w, "# TYPE revmon_policy_fallbacks_total counter")?;
+    writeln!(w, "revmon_policy_fallbacks_total {}", a.policy_fallbacks)?;
+    writeln!(w, "# HELP revmon_trace_skipped_lines_total Damaged trace lines skipped on import.")?;
+    writeln!(w, "# TYPE revmon_trace_skipped_lines_total counter")?;
+    writeln!(w, "revmon_trace_skipped_lines_total {}", a.skipped_lines)?;
 
     writeln!(w, "# HELP revmon_wasted_undo_entries_total Undo entries rolled back.")?;
     writeln!(w, "# TYPE revmon_wasted_undo_entries_total counter")?;
@@ -596,6 +687,82 @@ mod tests {
         // The whole document re-parses line-by-line with the importer's
         // scanner? Not flat JSON — just sanity-check key fields instead.
         assert!(json.contains("\"latency\": 11"));
+    }
+
+    #[test]
+    fn governed_scenario_surfaces_in_every_renderer() {
+        let events = vec![
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+            ev(30, 1, 7, EventKind::Rollback { entries: 4, duration: 6 }),
+            ev(32, 1, 7, EventKind::Acquire),
+            ev(34, 1, 7, EventKind::GovernorThrottle { by: 2 }),
+            ev(34, 1, 7, EventKind::PolicyFallback),
+            ev(40, 1, 7, EventKind::Commit),
+            ev(40, 1, 7, EventKind::Release),
+            ev(41, 2, 7, EventKind::Acquire),
+            ev(50, 2, 7, EventKind::Commit),
+            ev(50, 2, 7, EventKind::Release),
+        ];
+        let a = Analysis::from_events(&events);
+        assert_eq!(a.governor_throttles, 1);
+        assert_eq!(a.policy_fallbacks, 1);
+        assert_eq!(a.profiles[0].governor_throttles, 1);
+        assert_eq!(a.profiles[0].policy_fallbacks, 1);
+
+        let mut buf = Vec::new();
+        write_report(&mut buf, &a, &named(), TsUnit::VirtualTicks).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("governed: 1 revocations throttled, 1 fallback windows"), "{text}");
+        assert!(text.contains("governed (1 throttled, 1 fallbacks)"), "{text}");
+
+        let json = analysis_json(&a, &named(), TsUnit::VirtualTicks);
+        assert!(json.contains("\"governor_throttles\": 1"), "{json}");
+        assert!(json.contains("\"policy_fallbacks\": 1"), "{json}");
+
+        let mut buf = Vec::new();
+        write_prometheus(&mut buf, &a, &named(), TsUnit::VirtualTicks).unwrap();
+        let prom = String::from_utf8(buf).unwrap();
+        assert!(prom.contains("revmon_governor_throttles_total 1"), "{prom}");
+        assert!(prom.contains("revmon_policy_fallbacks_total 1"), "{prom}");
+    }
+
+    #[test]
+    fn damaged_pairs_reclassify_unresolved_as_truncated() {
+        // Holder t1's resolving events fell on skipped lines: the
+        // episode never closes, which without damage info would read as
+        // an unresolvable inversion.
+        let events = vec![
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+        ];
+        let mut a = Analysis::from_events(&events);
+        assert_eq!(a.episodes[0].resolution, Resolution::Unresolved);
+
+        // Damage on an unrelated pair must not reclassify anything.
+        let unrelated = [(9u64, 9u64)].into_iter().collect();
+        a.mark_truncated(&unrelated, 3);
+        assert_eq!(a.episodes[0].resolution, Resolution::Unresolved);
+        assert_eq!(a.skipped_lines, 3);
+
+        let damaged = [(1u64, 7u64)].into_iter().collect();
+        a.mark_truncated(&damaged, 3);
+        assert_eq!(a.episodes[0].resolution, Resolution::Truncated);
+        let truncated =
+            a.resolution_counts().iter().find(|(r, _)| *r == Resolution::Truncated).unwrap().1;
+        assert_eq!(truncated, 1);
+
+        let mut buf = Vec::new();
+        write_report(&mut buf, &a, &named(), TsUnit::VirtualTicks).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("damage: 3 skipped lines"), "{text}");
+        assert!(text.contains("truncated"), "{text}");
+
+        let json = analysis_json(&a, &named(), TsUnit::VirtualTicks);
+        assert!(json.contains("\"skipped_lines\": 3"), "{json}");
+        assert!(json.contains("\"resolution\": \"truncated\""), "{json}");
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub enum Resolution {
     /// The stream ended with the requester still waiting (non-revocable
     /// holder that never released, or a truncated trace).
     Unresolved,
+    /// The episode touched events on skipped (torn/out-of-order) trace
+    /// lines: its real outcome is unknowable from what survived, so it
+    /// is reported as truncated rather than biasing `unresolved`.
+    Truncated,
 }
 
 impl Resolution {
@@ -49,15 +53,17 @@ impl Resolution {
             Resolution::NaturalRelease => "natural_release",
             Resolution::DeadlockBreak => "deadlock_break",
             Resolution::Unresolved => "unresolved",
+            Resolution::Truncated => "truncated",
         }
     }
 
     /// All resolutions, in report order.
-    pub const ALL: [Resolution; 4] = [
+    pub const ALL: [Resolution; 5] = [
         Resolution::Revocation,
         Resolution::NaturalRelease,
         Resolution::DeadlockBreak,
         Resolution::Unresolved,
+        Resolution::Truncated,
     ];
 }
 
@@ -93,6 +99,13 @@ pub struct Episode {
     /// `InversionUnresolved` marks seen (holder was non-revocable when
     /// flagged).
     pub unresolvable_marks: u64,
+    /// Revocations the governor denied during this episode (the
+    /// contender was made to block instead). A non-zero count marks a
+    /// *governed* episode.
+    pub governor_throttles: u64,
+    /// Fresh fallback-to-blocking windows the governor opened during
+    /// this episode.
+    pub policy_fallbacks: u64,
 }
 
 impl Episode {
@@ -112,6 +125,8 @@ struct OpenEpisode {
     wasted_time: u64,
     revoke_requests: u64,
     unresolvable_marks: u64,
+    governor_throttles: u64,
+    policy_fallbacks: u64,
     deadlock: bool,
 }
 
@@ -129,6 +144,8 @@ impl OpenEpisode {
             wasted_time: self.wasted_time,
             revoke_requests: self.revoke_requests,
             unresolvable_marks: self.unresolvable_marks,
+            governor_throttles: self.governor_throttles,
+            policy_fallbacks: self.policy_fallbacks,
         }
     }
 
@@ -174,8 +191,9 @@ impl EpisodeBuilder {
             EventKind::Block => {
                 self.block_since.entry(key).or_insert(ev.ts);
             }
-            EventKind::RevokeRequest { by } | EventKind::InversionUnresolved { by } => {
-                let unresolvable = matches!(ev.kind, EventKind::InversionUnresolved { .. });
+            EventKind::RevokeRequest { by }
+            | EventKind::InversionUnresolved { by }
+            | EventKind::GovernorThrottle { by } => {
                 let start = self.block_since.get(&(by, ev.monitor)).copied().unwrap_or(ev.ts);
                 let ep = self.open.entry(ev.monitor).or_insert(OpenEpisode {
                     holder: ev.thread,
@@ -186,12 +204,19 @@ impl EpisodeBuilder {
                     wasted_time: 0,
                     revoke_requests: 0,
                     unresolvable_marks: 0,
+                    governor_throttles: 0,
+                    policy_fallbacks: 0,
                     deadlock: false,
                 });
-                if unresolvable {
-                    ep.unresolvable_marks += 1;
-                } else {
-                    ep.revoke_requests += 1;
+                match ev.kind {
+                    EventKind::InversionUnresolved { .. } => ep.unresolvable_marks += 1,
+                    EventKind::GovernorThrottle { .. } => ep.governor_throttles += 1,
+                    _ => ep.revoke_requests += 1,
+                }
+            }
+            EventKind::PolicyFallback => {
+                if let Some(ep) = self.open.get_mut(&ev.monitor) {
+                    ep.policy_fallbacks += 1;
                 }
             }
             EventKind::Rollback { entries, .. } => {
@@ -212,6 +237,8 @@ impl EpisodeBuilder {
                             wasted_time: 0,
                             revoke_requests: 0,
                             unresolvable_marks: 0,
+                            governor_throttles: 0,
+                            policy_fallbacks: 0,
                             deadlock: false,
                         })
                     }
@@ -381,6 +408,50 @@ mod tests {
         assert_eq!(eps[0].rollbacks, 2);
         assert_eq!(eps[0].wasted_entries, 4);
         assert_eq!(eps[0].resolution, Resolution::Revocation);
+    }
+
+    #[test]
+    fn governed_episode_counts_throttles_and_fallbacks() {
+        // Holder 1 burns its budget (one revocation), then the governor
+        // denies further revocations; the contender waits the holder out.
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+            ev(30, 1, 7, EventKind::Rollback { entries: 2, duration: 1 }),
+            ev(32, 1, 7, EventKind::Acquire), // holder re-enters first
+            ev(33, 1, 7, EventKind::GovernorThrottle { by: 2 }),
+            ev(33, 1, 7, EventKind::PolicyFallback),
+            ev(35, 1, 7, EventKind::GovernorThrottle { by: 2 }),
+            ev(50, 1, 7, EventKind::Commit),
+            ev(50, 1, 7, EventKind::Release),
+            ev(51, 2, 7, EventKind::Acquire),
+        ]);
+        assert_eq!(eps.len(), 1);
+        let e = &eps[0];
+        assert_eq!(e.governor_throttles, 2);
+        assert_eq!(e.policy_fallbacks, 1);
+        assert_eq!(e.rollbacks, 1);
+        assert_eq!(e.resolution, Resolution::Revocation);
+        assert_eq!(e.end, Some(51));
+    }
+
+    #[test]
+    fn throttle_alone_opens_a_governed_episode() {
+        // A governed pair can be throttled with no RevokeRequest at all
+        // (budget burnt in an earlier episode): the throttle itself must
+        // open the episode so the wait is still accounted.
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(21, 1, 7, EventKind::GovernorThrottle { by: 2 }),
+            ev(40, 1, 7, EventKind::Release),
+            ev(41, 2, 7, EventKind::Acquire),
+        ]);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].governor_throttles, 1);
+        assert_eq!(eps[0].resolution, Resolution::NaturalRelease);
+        assert_eq!(eps[0].start, 20);
     }
 
     #[test]

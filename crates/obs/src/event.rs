@@ -49,6 +49,16 @@ pub enum EventKind {
         /// High-priority requester.
         by: u64,
     },
+    /// The revocation governor denied a revocation of the event's
+    /// thread (the holder): its retry budget on this monitor is spent,
+    /// so the contender blocks on the prioritized queue instead.
+    GovernorThrottle {
+        /// High-priority contender that was throttled.
+        by: u64,
+    },
+    /// The governor opened a fresh fallback-to-blocking window for this
+    /// monitor (per-monitor degradation to the blocking baseline).
+    PolicyFallback,
 }
 
 impl EventKind {
@@ -65,6 +75,8 @@ impl EventKind {
             EventKind::DeadlockDetected { .. } => "DeadlockDetected",
             EventKind::DeadlockBroken => "DeadlockBroken",
             EventKind::InversionUnresolved { .. } => "InversionUnresolved",
+            EventKind::GovernorThrottle { .. } => "GovernorThrottle",
+            EventKind::PolicyFallback => "PolicyFallback",
         }
     }
 }

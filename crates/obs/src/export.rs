@@ -31,7 +31,9 @@ pub(crate) fn esc(s: &str) -> String {
 
 fn kind_extras(kind: &EventKind) -> String {
     match kind {
-        EventKind::RevokeRequest { by } | EventKind::InversionUnresolved { by } => {
+        EventKind::RevokeRequest { by }
+        | EventKind::InversionUnresolved { by }
+        | EventKind::GovernorThrottle { by } => {
             format!(",\"by\":{by}")
         }
         EventKind::Rollback { entries, duration } => {

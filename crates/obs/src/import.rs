@@ -56,6 +56,12 @@ pub struct TraceImport {
     pub ts_unit: Option<TsUnit>,
     /// What was skipped.
     pub warnings: ImportWarnings,
+    /// `(thread, monitor)` pairs whose events landed on skipped
+    /// (torn/out-of-order) lines. Episodes touching these pairs cannot
+    /// be classified honestly — their Acquire/Release may be among the
+    /// drops — so analysis reclassifies them as *truncated* rather than
+    /// letting them bias the `unresolved` count.
+    pub damaged: std::collections::BTreeSet<(u64, u64)>,
 }
 
 impl TraceImport {
@@ -226,6 +232,8 @@ fn classify(obj: &[(String, JVal)]) -> Option<Line> {
         "DeadlockBroken" => EventKind::DeadlockBroken,
         "RevokeRequest" => EventKind::RevokeRequest { by: num("by")? },
         "InversionUnresolved" => EventKind::InversionUnresolved { by: num("by")? },
+        "GovernorThrottle" => EventKind::GovernorThrottle { by: num("by")? },
+        "PolicyFallback" => EventKind::PolicyFallback,
         "Rollback" => EventKind::Rollback { entries: num("entries")?, duration: num("duration")? },
         "DeadlockDetected" => EventKind::DeadlockDetected { cycle_len: num("cycle_len")? },
         _ => return Some(Line::UnknownKind),
@@ -250,6 +258,10 @@ pub fn import_trace_jsonl(text: &str) -> TraceImport {
             Line::Event(ev) => {
                 if ev.ts < last_ts {
                     imp.warnings.out_of_order += 1;
+                    // The parsed-but-skipped event still tells us *which*
+                    // episodes lost data: remember the pair so analysis
+                    // can classify them as truncated, not unresolved.
+                    imp.damaged.insert((ev.thread, ev.monitor));
                     continue;
                 }
                 last_ts = ev.ts;
@@ -327,6 +339,38 @@ mod tests {
         assert_eq!(imp.warnings.unknown_kinds, 1);
         assert_eq!(imp.warnings.out_of_order, 1);
         assert_eq!(imp.warnings.total(), 3);
+        // The out-of-order Block was parsed before being skipped, so its
+        // (thread, monitor) pair is flagged as damaged; purely malformed
+        // lines carry no identity and cannot be.
+        assert_eq!(imp.damaged.iter().copied().collect::<Vec<_>>(), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn clean_import_reports_no_damaged_pairs() {
+        let text = concat!(
+            "{\"ts\":10,\"thread\":1,\"monitor\":3,\"kind\":\"Acquire\"}\n",
+            "{\"ts\":20,\"thread\":1,\"monitor\":3,\"kind\":\"Release\"}\n",
+        );
+        let imp = import_trace_jsonl(text);
+        assert!(imp.damaged.is_empty());
+        assert_eq!(imp.warnings.total(), 0);
+    }
+
+    #[test]
+    fn governor_kinds_round_trip() {
+        let text = concat!(
+            "{\"ts\":10,\"thread\":1,\"monitor\":3,\"kind\":\"GovernorThrottle\",\"by\":2}\n",
+            "{\"ts\":11,\"thread\":1,\"monitor\":3,\"kind\":\"PolicyFallback\"}\n",
+        );
+        let imp = import_trace_jsonl(text);
+        assert_eq!(imp.events.len(), 2);
+        assert_eq!(imp.events[0].kind, EventKind::GovernorThrottle { by: 2 });
+        assert_eq!(imp.events[1].kind, EventKind::PolicyFallback);
+        // Without its `by` payload a throttle line is malformed.
+        let imp = import_trace_jsonl(
+            "{\"ts\":1,\"thread\":1,\"monitor\":2,\"kind\":\"GovernorThrottle\"}\n",
+        );
+        assert_eq!(imp.warnings.malformed_lines, 1);
     }
 
     #[test]

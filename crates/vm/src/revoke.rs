@@ -48,6 +48,23 @@ impl Vm {
             self.emit_trace(TraceEvent::InversionUnresolved { by, holder, monitor: obj });
             return Ok(());
         }
+        // Adaptive governor: once the (monitor, holder) pair has burnt its
+        // retry budget, the contender stays blocked on the prioritized
+        // entry queue instead of revoking — per-monitor degradation to the
+        // blocking baseline, reversible after the decay window.
+        match self.governor.consult(self.config.governor, obj.0 as u64, holder.0 as u64, self.clock)
+        {
+            revmon_core::GovernorVerdict::Allow => {}
+            revmon_core::GovernorVerdict::Fallback { fresh } => {
+                self.global.governor_throttles += 1;
+                self.emit_trace(TraceEvent::GovernorThrottle { by, holder, monitor: obj });
+                if fresh {
+                    self.global.policy_fallbacks += 1;
+                    self.emit_trace(TraceEvent::PolicyFallback { holder, monitor: obj });
+                }
+                return Ok(());
+            }
+        }
         let acq = self.thread(holder).sections[idx].acq_id;
         // Keep the shallowest (outermost) target if requests pile up.
         let replace = match self.thread(holder).pending_revoke {
@@ -148,6 +165,8 @@ impl Vm {
             });
             self.threads[tid.index()].undo = log;
         }
+        let entered_at = self.thread(tid).sections[idx].entered_at;
+        let discarded_ticks = self.clock.saturating_sub(entered_at);
         let t0 = self.clock;
         self.charge(self.config.cost.rollback(entries as usize));
         {
@@ -187,6 +206,14 @@ impl Vm {
             t.metrics.entries_rolled_back += entries;
             t.consecutive_revocations += 1;
         }
+        self.governor.record_revocation(
+            self.config.governor,
+            target.monitor.0 as u64,
+            tid.0 as u64,
+            self.clock,
+            entries,
+            discarded_ticks,
+        );
 
         // 4. Reschedule.
         if after_wait {

@@ -74,7 +74,11 @@ impl Vm {
                 match self.config.policy {
                     InversionPolicy::Blocking | InversionPolicy::PriorityCeiling(_) => {}
                     InversionPolicy::Revocation => {
-                        if eff > holder_prio {
+                        // fault_force_inversion (test-only) treats every
+                        // contended acquire as an inversion, forcing the
+                        // pathological repeat-revocation the governor
+                        // exists to bound.
+                        if eff > holder_prio || self.config.fault_force_inversion {
                             self.thread_mut(tid).metrics.inversions_detected += 1;
                             if matches!(
                                 self.config.detection,
@@ -119,6 +123,7 @@ impl Vm {
             && self.monitors.get(obj).map(|m| m.sticky_nonrevocable).unwrap_or(false);
         let acq_id = self.next_acq_id;
         self.next_acq_id += 1;
+        let entered_at = self.clock;
         let t = self.thread_mut(tid);
         let snapshot = t.pending_snapshot.take();
         let mark = t.undo.mark();
@@ -130,6 +135,7 @@ impl Vm {
             snapshot,
             revocable: !sticky_blocked,
             region,
+            entered_at,
         });
         self.with_probe(|p, vm| p.on_section_enter(vm, tid, obj));
     }
@@ -162,6 +168,7 @@ impl Vm {
             self.threads[tid.index()].undo = log;
             self.emit_trace(TraceEvent::Commit { thread: tid, monitor: obj });
             self.with_probe(|p, vm| p.on_commit(vm, tid, obj));
+            self.governor.record_commit(obj.0 as u64, tid.0 as u64, self.clock);
         }
         let t = self.thread_mut(tid);
         t.metrics.sections_committed += 1;
@@ -403,13 +410,14 @@ impl Vm {
                     self.monitors.get_mut(h).holder_priority = needed;
                 }
             }
-            // Re-position `cur` in the queue it waits in, then follow the chain.
+            // Re-prioritize `cur` in the queue it waits in (in place —
+            // a remove + re-push would assign a fresh arrival sequence
+            // and demote the boosted waiter behind later same-priority
+            // arrivals), then follow the chain.
             match self.thread(cur).state {
                 ThreadState::BlockedEnter(m2) | ThreadState::BlockedReacquire(m2) => {
                     let mon = self.monitors.get_mut(m2);
-                    if mon.queue.remove_where(|&t| t == cur) {
-                        mon.queue.push(cur, needed);
-                    }
+                    mon.queue.reprioritize(|&t| t == cur, needed);
                     match self.monitors.get(m2).and_then(|m| m.owner) {
                         Some(next_owner) => cur = next_owner,
                         None => break,

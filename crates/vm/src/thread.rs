@@ -81,6 +81,10 @@ pub struct Section {
     /// exceptions. `None` (raw unstructured enter) pessimistically covers
     /// the whole method.
     pub region: Option<(u32, u32)>,
+    /// Virtual-clock tick at which this execution entered the section.
+    /// A rollback discards `now − entered_at` ticks of section work; the
+    /// revocation governor accounts them against the monitor.
+    pub entered_at: u64,
 }
 
 impl Section {
@@ -278,6 +282,7 @@ mod tests {
                 snapshot: None,
                 revocable: true,
                 region: None,
+                entered_at: 0,
             });
         }
         assert_eq!(t.outermost_section_on(m), Some(0));
@@ -298,6 +303,7 @@ mod tests {
             snapshot: None,
             revocable: true,
             region: None,
+            entered_at: 0,
         });
         t.undo.push(UndoEntry { loc: Location::Static(1), old: Value::Null });
         let inner_mark = t.undo.mark(); // pos 2
@@ -309,6 +315,7 @@ mod tests {
             snapshot: None,
             revocable: true,
             region: None,
+            entered_at: 0,
         });
         // A write at log position 1 is enclosed only by the outer section.
         let flipped = t.mark_nonrevocable_enclosing(1);
@@ -329,6 +336,7 @@ mod tests {
                 snapshot: None,
                 revocable: true,
                 region: None,
+                entered_at: 0,
             });
         }
         assert_eq!(t.mark_all_nonrevocable(), 2);
@@ -345,6 +353,7 @@ mod tests {
             snapshot: None,
             revocable: true,
             region: None,
+            entered_at: 0,
         };
         assert!(!s.can_revoke());
         s.snapshot =

@@ -82,6 +82,24 @@ pub enum TraceEvent {
         /// Contended monitor.
         monitor: ObjRef,
     },
+    /// The governor denied a revocation: the holder's retry budget on
+    /// this monitor is spent, so the contender blocks instead.
+    GovernorThrottle {
+        /// High-priority contender that was throttled.
+        by: ThreadId,
+        /// Low-priority holder that keeps the monitor.
+        holder: ThreadId,
+        /// Governed monitor.
+        monitor: ObjRef,
+    },
+    /// The governor opened a fresh fallback-to-blocking window for this
+    /// monitor (the per-monitor degradation to the blocking baseline).
+    PolicyFallback {
+        /// Holder whose revocation history triggered the fallback.
+        holder: ThreadId,
+        /// Governed monitor.
+        monitor: ObjRef,
+    },
 }
 
 impl TraceEvent {
@@ -127,6 +145,12 @@ impl TraceEvent {
                 monitor.0 as u64,
                 EventKind::InversionUnresolved { by: by.0 as u64 },
             ),
+            TraceEvent::GovernorThrottle { by, holder, monitor } => {
+                (holder.0 as u64, monitor.0 as u64, EventKind::GovernorThrottle { by: by.0 as u64 })
+            }
+            TraceEvent::PolicyFallback { holder, monitor } => {
+                (holder.0 as u64, monitor.0 as u64, EventKind::PolicyFallback)
+            }
         };
         Event { ts: at, thread, monitor, kind }
     }

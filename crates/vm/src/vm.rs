@@ -23,8 +23,8 @@ use crate::value::Value;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use revmon_core::{
-    CostModel, DetectionStrategy, InversionPolicy, Metrics, Priority, QueueDiscipline, ThreadId,
-    WaitsForGraph,
+    CostModel, DetectionStrategy, Governor, GovernorConfig, InversionPolicy, Metrics, Priority,
+    QueueDiscipline, ThreadId, WaitsForGraph,
 };
 use std::collections::VecDeque;
 
@@ -68,6 +68,10 @@ pub struct VmConfig {
     /// same section execution, further requests are denied until it
     /// commits (0 = unlimited; the paper's mechanism is unlimited).
     pub max_consecutive_revocations: u32,
+    /// Adaptive revocation governor: bounded retry budget with
+    /// exponential backoff and per-monitor fallback to blocking
+    /// (disabled by default — the paper's mechanism is ungoverned).
+    pub governor: GovernorConfig,
     /// Strict mode: once any execution of a monitor is marked
     /// non-revocable, all future executions are too (sticky header bit).
     pub sticky_nonrevocable: bool,
@@ -78,6 +82,12 @@ pub struct VmConfig {
     /// the `revmon-explore` invariant checker can prove it catches a
     /// broken rollback; never set this outside tests.
     pub fault_skip_undo: u32,
+    /// **Test-only fault injection**: treat *every* contended acquire as
+    /// a priority inversion, regardless of the holder's priority. Forces
+    /// pathological repeat-revocation (mutual revocation ping-pong) so
+    /// the governor's livelock handling can be exercised under the
+    /// explore harness; never set this outside tests.
+    pub fault_force_inversion: bool,
 }
 
 impl VmConfig {
@@ -99,9 +109,11 @@ impl VmConfig {
             max_steps: 0,
             max_heap_objects: 0,
             max_consecutive_revocations: 0,
+            governor: GovernorConfig::disabled(),
             sticky_nonrevocable: false,
             trace: false,
             fault_skip_undo: 0,
+            fault_force_inversion: false,
         }
     }
 
@@ -145,6 +157,12 @@ impl VmConfig {
     /// Builder-style: set the step safety limit.
     pub fn with_max_steps(mut self, n: u64) -> Self {
         self.max_steps = n;
+        self
+    }
+
+    /// Builder-style: set the revocation governor.
+    pub fn with_governor(mut self, governor: GovernorConfig) -> Self {
+        self.governor = governor;
         self
     }
 }
@@ -255,6 +273,13 @@ impl RunReport {
             g.inversions_detected, g.inversions_unresolved
         );
         let _ = writeln!(out, "non-revocable marks: {}", g.monitors_marked_nonrevocable);
+        if g.governor_throttles != 0 || g.policy_fallbacks != 0 {
+            let _ = writeln!(
+                out,
+                "governor           : {} throttled, {} fallback windows",
+                g.governor_throttles, g.policy_fallbacks
+            );
+        }
         let _ = writeln!(
             out,
             "deadlocks          : {} detected, {} broken",
@@ -307,6 +332,8 @@ pub struct Vm {
     /// Number of `RandInt` draws so far; together with `config.seed` this
     /// pins the RNG state (used by state fingerprinting).
     pub(crate) rng_draws: u64,
+    /// Adaptive revocation governor state (see `config.governor`).
+    pub(crate) governor: Governor,
 }
 
 impl Vm {
@@ -375,6 +402,7 @@ impl Vm {
             policy: config.scheduler.policy(),
             probe: None,
             rng_draws: 0,
+            governor: Governor::new(),
         }
     }
 
@@ -779,6 +807,12 @@ impl Vm {
     /// The configuration this VM was built with.
     pub fn config(&self) -> &VmConfig {
         &self.config
+    }
+
+    /// The revocation governor's state (introspection for the explore
+    /// bounded-revocation invariant and the CLI stats report).
+    pub fn governor(&self) -> &Governor {
+        &self.governor
     }
 }
 

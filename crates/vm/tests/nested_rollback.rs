@@ -1,0 +1,130 @@
+//! Regression tests for nested and recursive synchronized sections
+//! under revocation: rolling back an *inner* section must restore the
+//! undo log to the inner mark only — outer-section writes survive and
+//! are not lost when the inner section re-executes.
+
+mod common;
+
+use revmon_core::Priority;
+use revmon_vm::builder::{MethodBuilder, ProgramBuilder};
+use revmon_vm::value::Value;
+use revmon_vm::{Vm, VmConfig};
+
+const INNER_ITERS: i64 = 5_000;
+
+/// low(lockA, lockB): syncA { s0 += 1; syncB { s1 += 1 × INNER_ITERS } }
+/// high(lockB): sleep; syncB { read }
+///
+/// The high thread revokes low's *inner* section (on lockB). If the
+/// rollback restored to the outer mark instead of the inner one, the
+/// `s0 += 1` would be undone — and never redone, because only the inner
+/// section re-executes — leaving s0 == 0.
+#[test]
+fn inner_rollback_preserves_outer_section_writes() {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(2);
+    let low = pb.declare_method("low", 2);
+    let mut b = MethodBuilder::new(2, 4);
+    b.sync_on_local(0, |b| {
+        b.add_static(0, 1);
+        b.sync_on_local(1, |b| {
+            b.repeat(2, INNER_ITERS, |b| b.add_static(1, 1));
+        });
+    });
+    b.ret_void();
+    pb.implement(low, b);
+
+    let high = pb.declare_method("high", 1);
+    let mut h = MethodBuilder::new(1, 2);
+    h.const_i(30_000);
+    h.sleep();
+    h.sync_on_local(0, |b| {
+        b.get_static(1);
+        b.pop();
+    });
+    h.ret_void();
+    pb.implement(high, h);
+
+    let mut vm = Vm::new(pb.finish(), VmConfig::modified());
+    let lock_a = vm.heap_mut().alloc(0, 0);
+    let lock_b = vm.heap_mut().alloc(0, 0);
+    vm.spawn("low", low, vec![Value::Ref(lock_a), Value::Ref(lock_b)], Priority::LOW);
+    vm.spawn("high", high, vec![Value::Ref(lock_b)], Priority::HIGH);
+    let report = vm.run().expect("run");
+
+    assert!(report.threads[0].metrics.rollbacks >= 1, "inner section was never revoked");
+    assert_eq!(
+        vm.read_static(0).unwrap(),
+        Value::Int(1),
+        "outer-section write lost: inner rollback used the wrong undo mark"
+    );
+    assert_eq!(vm.read_static(1).unwrap(), Value::Int(INNER_ITERS));
+}
+
+/// Recursive enter on the same lock: low holds `lock` twice, the high
+/// contender revokes it. The rollback must unwind the recursion
+/// coherently and re-execution must produce exactly one increment.
+#[test]
+fn recursive_section_revocation_is_exact() {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(2);
+    let low = pb.declare_method("low", 1);
+    let mut b = MethodBuilder::new(1, 3);
+    b.sync_on_local(0, |b| {
+        b.add_static(0, 1);
+        b.sync_on_local(0, |b| {
+            b.repeat(1, INNER_ITERS, |b| b.add_static(1, 1));
+        });
+    });
+    b.ret_void();
+    pb.implement(low, b);
+
+    let high = pb.declare_method("high", 1);
+    let mut h = MethodBuilder::new(1, 2);
+    h.const_i(30_000);
+    h.sleep();
+    h.sync_on_local(0, |b| {
+        b.get_static(1);
+        b.pop();
+    });
+    h.ret_void();
+    pb.implement(high, h);
+
+    let mut vm = Vm::new(pb.finish(), VmConfig::modified());
+    let lock = vm.heap_mut().alloc(0, 0);
+    vm.spawn("low", low, vec![Value::Ref(lock)], Priority::LOW);
+    vm.spawn("high", high, vec![Value::Ref(lock)], Priority::HIGH);
+    let report = vm.run().expect("run");
+
+    assert!(report.threads[0].metrics.rollbacks >= 1, "recursive section was never revoked");
+    assert_eq!(vm.read_static(0).unwrap(), Value::Int(1), "outer increment not exactly-once");
+    assert_eq!(vm.read_static(1).unwrap(), Value::Int(INNER_ITERS));
+}
+
+/// Nested sections with no contention commit innermost-first and retire
+/// marks correctly (the non-revocation half of the invariant).
+#[test]
+fn nested_commit_without_contention_is_exact() {
+    let mut pb = ProgramBuilder::new();
+    pb.statics(2);
+    let only = pb.declare_method("only", 2);
+    let mut b = MethodBuilder::new(2, 4);
+    b.sync_on_local(0, |b| {
+        b.add_static(0, 1);
+        b.sync_on_local(1, |b| {
+            b.repeat(2, 100, |b| b.add_static(1, 1));
+        });
+        b.add_static(0, 1);
+    });
+    b.ret_void();
+    pb.implement(only, b);
+
+    let mut vm = Vm::new(pb.finish(), VmConfig::modified());
+    let lock_a = vm.heap_mut().alloc(0, 0);
+    let lock_b = vm.heap_mut().alloc(0, 0);
+    vm.spawn("only", only, vec![Value::Ref(lock_a), Value::Ref(lock_b)], Priority::NORM);
+    let report = vm.run().expect("run");
+    assert_eq!(report.global.rollbacks, 0);
+    assert_eq!(vm.read_static(0).unwrap(), Value::Int(2));
+    assert_eq!(vm.read_static(1).unwrap(), Value::Int(100));
+}
