@@ -13,7 +13,16 @@
 //! enter/exit regresses more than [`REGRESSION_TOLERANCE`] against the
 //! committed baseline ([`BASELINE_NS`]) — the CI perf gate.
 //!
-//! Run with `cargo bench -p revmon-bench --bench hotpath -- [--quick] [--check]`.
+//! With `--overhead`, the run additionally measures the *profiling
+//! self-overhead*: `enter_exit` and `logged_write` with the always-on
+//! revocation phase timers (`revmon_obs::prof`) force-disabled vs
+//! enabled, interleaved sample-by-sample to cancel drift. The on/off
+//! ratio must stay within [`OVERHEAD_BUDGET`] or the run fails (exit 1)
+//! — the CI guard that keeps the profiling layer cheap enough to leave
+//! on. The rows are published into `BENCH_hotpath.json`.
+//!
+//! Run with
+//! `cargo bench -p revmon-bench --bench hotpath -- [--quick] [--check] [--overhead]`.
 
 use revmon_core::metrics::{ci90_half_width, mean};
 use revmon_core::Priority;
@@ -44,6 +53,10 @@ const BASELINE_NS: &[(&str, f64)] = &[("enter_exit", 94.53)];
 
 /// Allowed fractional regression before `--check` fails (>20 %).
 const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// `--overhead` gate: hot paths with phase timers enabled must cost at
+/// most this multiple of the disabled cost (the ISSUE's "within 10%").
+const OVERHEAD_BUDGET: f64 = 1.10;
 
 struct BenchResult {
     name: &'static str,
@@ -174,13 +187,100 @@ fn bench_revocation_roundtrip(samples: usize, episodes: u64) -> BenchResult {
     })
 }
 
+/// One paired profiling-overhead measurement: the same closure timed
+/// with the phase timers off and on.
+struct OverheadRow {
+    name: &'static str,
+    off_ns: f64,
+    on_ns: f64,
+}
+
+impl OverheadRow {
+    fn ratio(&self) -> f64 {
+        if self.off_ns > 0.0 {
+            self.on_ns / self.off_ns
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Time `one` with the timers disabled and enabled, alternating
+/// sample-by-sample so frequency drift hits both sides equally. Leaves
+/// the timers enabled (the library default).
+fn paired_overhead(
+    name: &'static str,
+    samples: usize,
+    mut one: impl FnMut() -> f64,
+) -> OverheadRow {
+    let prof = revmon_obs::prof::timers();
+    let _ = one(); // warmup
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..samples {
+        prof.set_enabled(false);
+        off.push(one());
+        prof.set_enabled(true);
+        on.push(one());
+    }
+    OverheadRow { name, off_ns: mean(&off), on_ns: mean(&on) }
+}
+
+/// Measure the self-overhead of the always-on phase timers on the two
+/// paths the ISSUE budgets: uncontended enter/exit and the logged write
+/// barrier. Neither path *calls* the timers (they fire on the revocation
+/// slow path only), so this guards against instrumentation creeping into
+/// the fast path.
+fn overhead_rows(samples: usize, iters: u64) -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+    {
+        let m = RevocableMonitor::new();
+        rows.push(paired_overhead("enter_exit", samples, || {
+            time_ns_per_op(iters, || {
+                m.enter(Priority::NORM, |_tx| {});
+            })
+        }));
+    }
+    {
+        let m = RevocableMonitor::new();
+        let cell = TCell::new(0i64);
+        rows.push(paired_overhead("logged_write", samples, || {
+            m.enter(Priority::NORM, |tx| {
+                time_ns_per_op(iters, || {
+                    tx.write(&cell, black_box(7i64));
+                })
+            })
+        }));
+    }
+    rows
+}
+
 fn json_escape_free(name: &str) -> &str {
     name // bench names are identifiers; nothing to escape
 }
 
-fn results_json(mode: &str, results: &[BenchResult]) -> String {
+fn results_json(mode: &str, results: &[BenchResult], overhead: &[OverheadRow]) -> String {
     let mut out = format!("{{\n  \"figure\": \"hotpath\",\n  \"mode\": \"{mode}\",\n");
-    out.push_str("  \"unit\": \"ns_per_op\",\n  \"benches\": [\n");
+    out.push_str("  \"unit\": \"ns_per_op\",\n");
+    if !overhead.is_empty() {
+        out.push_str(&format!(
+            "  \"profiling_overhead\": {{\"budget_ratio\": {OVERHEAD_BUDGET:.2}, \"rows\": [\n"
+        ));
+        let rows: Vec<String> = overhead
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"name\": \"{}\", \"off_ns\": {:.2}, \"on_ns\": {:.2}, \"ratio\": {:.3}}}",
+                    r.name,
+                    r.off_ns,
+                    r.on_ns,
+                    r.ratio()
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]},\n");
+    }
+    out.push_str("  \"benches\": [\n");
     let rows: Vec<String> = results
         .iter()
         .map(|r| {
@@ -214,6 +314,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
+    let overhead = args.iter().any(|a| a == "--overhead");
     // `cargo bench` passes --bench through; ignore unknown flags.
 
     let (samples, iters, episodes) =
@@ -236,12 +337,57 @@ fn main() {
         println!("{:<24} {:>12.2} {:>10.2} {:>14}", r.name, r.mean_ns(), r.ci90_ns(), vs);
     }
 
+    // The roundtrip bench above drove the revocation slow path with the
+    // phase timers on; their breakdown says where those ns went.
+    println!("revocation slow-path phase breakdown (host-clock ns):");
+    {
+        let mut out = std::io::stdout().lock();
+        revmon_obs::prof::timers().write_table(&mut out).expect("phase table");
+    }
+
+    let over = if overhead { overhead_rows(samples, iters) } else { Vec::new() };
+    if overhead {
+        println!("profiling self-overhead (phase timers off vs on, budget {OVERHEAD_BUDGET:.2}x)");
+        println!("{:<24} {:>12} {:>12} {:>8}", "bench", "off ns/op", "on ns/op", "ratio");
+        for r in &over {
+            println!("{:<24} {:>12.2} {:>12.2} {:>7.3}x", r.name, r.off_ns, r.on_ns, r.ratio());
+        }
+    }
+
     let dir = revmon_bench::export::results_dir();
     std::fs::create_dir_all(&dir).expect("create bench_results dir");
     let path = dir.join("BENCH_hotpath.json");
     let mode = if quick { "quick" } else { "full" };
-    std::fs::write(&path, results_json(mode, &results)).expect("write BENCH_hotpath.json");
+    std::fs::write(&path, results_json(mode, &results, &over)).expect("write BENCH_hotpath.json");
     println!("wrote {}", path.display());
+
+    if overhead {
+        let mut failed = false;
+        for r in &over {
+            if r.ratio() > OVERHEAD_BUDGET {
+                eprintln!(
+                    "PROFILING OVERHEAD: {} with timers on = {:.2} ns/op vs {:.2} off \
+                     ({:.3}x > budget {:.2}x)",
+                    r.name,
+                    r.on_ns,
+                    r.off_ns,
+                    r.ratio(),
+                    OVERHEAD_BUDGET
+                );
+                failed = true;
+            } else {
+                println!(
+                    "overhead gate ok: {} {:.3}x (budget {:.2}x)",
+                    r.name,
+                    r.ratio(),
+                    OVERHEAD_BUDGET
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
 
     if check {
         let mut failed = false;

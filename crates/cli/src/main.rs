@@ -22,6 +22,9 @@
 //!        [--trace-out events.jsonl] [--chrome-trace out.json]
 //!        [--metrics-json metrics.json] [--prometheus out.prom]
 //! revmon analyze trace.jsonl [--json] [--prometheus out.prom]
+//!        [--flame out.folded]
+//! revmon serve [--addr HOST:PORT] [--low N] [--high N]
+//!        [--no-workload] [--max-requests N]
 //! revmon dis program.rvm [--rewrite]
 //! revmon verify program.rvm [--rewrite]
 //! ```
@@ -34,6 +37,13 @@
 //! priority-inversion episodes and per-monitor contention profiles from
 //! it; `demo --watch` runs the same analysis live while the scenario
 //! executes. See `docs/analysis.md`.
+//!
+//! `serve` exposes the same analysis live over HTTP — Prometheus
+//! `/metrics`, a `/healthz` probe, and the wait-for graph as JSON or DOT
+//! — with a demo-style background workload unless `--no-workload`. The
+//! revocation slow path is phase-timed on both runtimes (always on; see
+//! `docs/profiling.md`); `--stats` prints the per-phase table and
+//! `--flame` exports episode critical paths as folded stacks.
 //!
 //! `explore` enumerates schedules of a program exhaustively under a
 //! preemption bound (or samples them with `--fuzz-iters`), checking the
@@ -49,6 +59,8 @@ use revmon_vm::{
 use std::process::ExitCode;
 use std::sync::Arc;
 
+mod serve;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -61,13 +73,16 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: revmon <run|explore|dis|verify> <file.rvm> [options]\n       revmon analyze <trace.jsonl> [--json] [--prometheus out.prom]\n       revmon demo [options]\n       see crate docs for the option list".into()
+    "usage: revmon <run|explore|dis|verify> <file.rvm> [options]\n       revmon analyze <trace.jsonl> [--json] [--prometheus out.prom] [--flame out.folded]\n       revmon demo [options]\n       revmon serve [--addr HOST:PORT] [options]\n       see crate docs for the option list".into()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or_else(usage)?;
     if cmd == "demo" {
         return run_demo(&args[1..]);
+    }
+    if cmd == "serve" {
+        return serve::run_serve(&args[1..]);
     }
     let file = args.get(1).ok_or_else(usage)?;
     if cmd == "analyze" {
@@ -110,6 +125,7 @@ struct ObsOuts {
     chrome: Option<String>,
     metrics: Option<String>,
     prometheus: Option<String>,
+    flame: Option<String>,
 }
 
 impl ObsOuts {
@@ -119,6 +135,7 @@ impl ObsOuts {
             chrome: get_opt(opts, "--chrome-trace")?,
             metrics: get_opt(opts, "--metrics-json")?,
             prometheus: get_opt(opts, "--prometheus")?,
+            flame: get_opt(opts, "--flame")?,
         })
     }
 
@@ -127,21 +144,25 @@ impl ObsOuts {
             || self.chrome.is_some()
             || self.metrics.is_some()
             || self.prometheus.is_some()
+            || self.flame.is_some()
     }
 
     /// Write every requested artifact from the run's drained `events`.
     /// `counters` is the run's counter set for `--metrics-json`; `names`
-    /// labels monitors in the trace and Prometheus outputs.
+    /// labels monitors in the trace and Prometheus outputs; `meta` is the
+    /// run context stamped into the trace header so `analyze` can label
+    /// governed runs and account for ring-buffer drops.
     fn export(
         &self,
         events: &[revmon_obs::Event],
         sink: &EventSink,
         counters: &[(&str, u64)],
         names: &std::collections::BTreeMap<u64, String>,
+        meta: &revmon_obs::RunMeta,
     ) -> Result<(), String> {
         if let Some(path) = &self.trace_out {
             let mut f = create(path)?;
-            revmon_obs::write_trace_jsonl(&mut f, events, sink.ts_unit(), names)
+            revmon_obs::write_trace_jsonl_with(&mut f, events, sink.ts_unit(), names, meta)
                 .map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("revmon: wrote {} events to {path}", events.len());
         }
@@ -159,16 +180,30 @@ impl ObsOuts {
             }
         }
         if let Some(path) = &self.metrics {
-            let json = revmon_obs::metrics_json(counters, sink.histograms(), sink.ts_unit());
+            let json = revmon_obs::metrics_json_with(
+                counters,
+                sink.histograms(),
+                sink.ts_unit(),
+                Some(revmon_obs::prof::timers()),
+            );
             std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("revmon: wrote metrics to {path}");
         }
-        if let Some(path) = &self.prometheus {
+        if self.prometheus.is_some() || self.flame.is_some() {
             let analysis = revmon_obs::Analysis::from_events(events);
-            let mut f = create(path)?;
-            revmon_obs::write_prometheus(&mut f, &analysis, names, sink.ts_unit())
-                .map_err(|e| format!("writing {path}: {e}"))?;
-            eprintln!("revmon: wrote Prometheus metrics to {path}");
+            if let Some(path) = &self.prometheus {
+                let mut f = create(path)?;
+                revmon_obs::write_prometheus(&mut f, &analysis, names, sink.ts_unit())
+                    .and_then(|()| revmon_obs::prof::timers().write_prometheus(&mut f))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("revmon: wrote Prometheus metrics to {path}");
+            }
+            if let Some(path) = &self.flame {
+                let stacks = revmon_obs::FoldedStacks::from_episodes(&analysis.episodes, names);
+                let mut f = create(path)?;
+                stacks.write_folded(&mut f).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("revmon: wrote {} folded stacks to {path}", stacks.len());
+            }
         }
         Ok(())
     }
@@ -335,12 +370,33 @@ fn run_program(
             )
             .map_err(|e| format!("writing summary: {e}"))?;
         }
+        println!("--- revocation phases (host-clock) ---");
+        let mut out = std::io::stdout().lock();
+        revmon_obs::prof::timers()
+            .write_table(&mut out)
+            .map_err(|e| format!("writing phase table: {e}"))?;
     }
     if let Some(sink) = &sink {
         let mut counters = Vec::new();
         report.global.for_each_field(|name, v| counters.push((name, v)));
         let events = sink.drain();
-        outs.export(&events, sink, &counters, &vm.monitor_names())?;
+        let meta = revmon_obs::RunMeta {
+            recorded: Some(sink.recorded()),
+            dropped: Some(sink.dropped()),
+            governor: cfg.governor.enabled().then_some((
+                cfg.governor.k,
+                cfg.governor.backoff,
+                cfg.governor.decay,
+            )),
+            scheduler: Some(
+                match cfg.scheduler {
+                    SchedulerKind::RoundRobin => "rr",
+                    SchedulerKind::PriorityPreemptive => "prio",
+                }
+                .into(),
+            ),
+        };
+        outs.export(&events, sink, &counters, &vm.monitor_names(), &meta)?;
     }
     Ok(())
 }
@@ -370,12 +426,38 @@ fn run_analyze(file: &str, opts: &[String]) -> Result<(), String> {
     // inversions the runtime failed to resolve.
     analysis.mark_truncated(&imp.damaged, imp.warnings.total());
     let unit = imp.unit();
+    let meta = &imp.run_meta;
+    if let Some(dropped) = meta.dropped.filter(|&d| d > 0) {
+        eprintln!(
+            "revmon: {file}: the recording run dropped {dropped} event(s) to ring-buffer \
+             overflow ({} recorded) — episodes touching the gap may be truncated",
+            meta.recorded.map_or_else(|| "?".into(), |r| r.to_string()),
+        );
+    }
     if has_flag(opts, "--json") {
         print!("{}", revmon_obs::analysis_json(&analysis, &imp.names, unit));
     } else {
+        // Label the run from its trace-header context so governed runs
+        // are not mistaken for baseline ones.
+        let mut context = Vec::new();
+        if let Some(s) = &meta.scheduler {
+            context.push(format!("scheduler={s}"));
+        }
+        if let Some((k, b, d)) = meta.governor {
+            context.push(format!("governor k={k} backoff={b} decay={d}"));
+        }
+        if !context.is_empty() {
+            println!("run context: {}", context.join(", "));
+        }
         let mut out = std::io::stdout().lock();
         revmon_obs::write_report(&mut out, &analysis, &imp.names, unit)
             .map_err(|e| format!("writing report: {e}"))?;
+    }
+    if let Some(path) = get_opt(opts, "--flame")? {
+        let stacks = revmon_obs::FoldedStacks::from_episodes(&analysis.episodes, &imp.names);
+        let mut f = create(&path)?;
+        stacks.write_folded(&mut f).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("revmon: wrote {} folded stacks to {path}", stacks.len());
     }
     if let Some(path) = get_opt(opts, "--prometheus")? {
         let mut f = create(&path)?;
@@ -733,6 +815,11 @@ fn run_demo(opts: &[String]) -> Result<(), String> {
             )
             .map_err(|e| format!("writing summary: {e}"))?;
         }
+        println!("--- revocation phases ---");
+        let mut out = std::io::stdout().lock();
+        revmon_obs::prof::timers()
+            .write_table(&mut out)
+            .map_err(|e| format!("writing phase table: {e}"))?;
     }
 
     // Stop the live reporter and take the events it already drained.
@@ -748,7 +835,13 @@ fn run_demo(opts: &[String]) -> Result<(), String> {
         let mut counters = Vec::new();
         let total = revmon_locks::aggregate_snapshot();
         total.for_each_field(|name, v| counters.push((name, v)));
-        outs.export(&events, sink, &counters, &revmon_locks::obs::monitor_names())?;
+        let meta = revmon_obs::RunMeta {
+            recorded: Some(sink.recorded()),
+            dropped: Some(sink.dropped()),
+            governor: None, // locks governors are per-monitor, not a run-wide config
+            scheduler: Some("os".into()),
+        };
+        outs.export(&events, sink, &counters, &revmon_locks::obs::monitor_names(), &meta)?;
         if watch {
             let a = revmon_obs::Analysis::from_events(&events);
             let mut out = std::io::stdout().lock();

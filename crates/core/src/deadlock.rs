@@ -97,6 +97,12 @@ impl WaitsForGraph {
         self.edges.get(&waiter).map(|&(monitor, owner)| Edge { waiter, monitor, owner })
     }
 
+    /// Every blocking edge, in unspecified order (observability
+    /// snapshots sort on their side).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().map(|(&waiter, &(monitor, owner))| Edge { waiter, monitor, owner })
+    }
+
     /// Re-point every edge on `monitor` at a new owner — called when
     /// monitor ownership transfers while other threads stay queued, so
     /// cycle detection never follows a stale owner.

@@ -197,6 +197,14 @@ impl Governor {
         self.pairs.values().map(|s| s.streak).max().unwrap_or(0)
     }
 
+    /// The current consecutive-revocation streak of one `(monitor,
+    /// holder)` pair (0 for pairs the governor has never seen). Feeds
+    /// the wait-for graph snapshots, which annotate each held edge with
+    /// how close its pair is to a fallback window.
+    pub fn streak(&self, monitor: u64, holder: u64) -> u32 {
+        self.pairs.get(&(monitor, holder)).map(|s| s.streak).unwrap_or(0)
+    }
+
     /// Total consult denials (throttled revocation attempts).
     pub fn throttles(&self) -> u64 {
         self.throttles

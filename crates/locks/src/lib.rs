@@ -72,7 +72,7 @@ pub mod tx;
 
 pub use cell::{TCell, VolatileCell};
 pub use monitor::RevocableMonitor;
-pub use registry::{aggregate_snapshot, DEADLOCKS_BROKEN, DEADLOCKS_DETECTED};
+pub use registry::{aggregate_snapshot, wait_graph_snapshot, DEADLOCKS_BROKEN, DEADLOCKS_DETECTED};
 pub use revmon_core::{InversionPolicy, Priority};
 pub use stats::StatsSnapshot;
 pub use tx::Tx;

@@ -38,6 +38,7 @@ use crate::stats::{MonitorStats, StatsSnapshot};
 use crate::tx::{self, SectionCtx, Tx};
 use parking_lot::{Mutex, MutexGuard};
 use revmon_core::{Governor, GovernorConfig, GovernorVerdict, InversionPolicy, Priority};
+use revmon_obs::prof::{timers, Phase};
 use revmon_obs::EventKind;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -489,11 +490,15 @@ impl RevocableMonitor {
     /// claim ownership the fat state knows nothing about.
     fn inflate(&self) -> MutexGuard<'_, MState> {
         let mut s = self.state.lock();
+        let prof = timers();
         loop {
             let w = self.word.load(Ordering::Acquire);
             if w & INFLATED != 0 {
                 return s;
             }
+            // An actual thin→fat transition from here on: span it. (The
+            // already-inflated path above stays timer-free.)
+            let t_inflate = prof.start(Phase::Inflate);
             if w == 0 {
                 // Free: freeze an unowned word.
                 if self
@@ -503,6 +508,7 @@ impl RevocableMonitor {
                 {
                     self.stats.inflations.fetch_add(1, Ordering::Relaxed);
                     debug_assert!(s.owner.is_none(), "deflated word with fat owner");
+                    prof.finish(Phase::Inflate, t_inflate);
                     return s;
                 }
                 continue;
@@ -538,6 +544,7 @@ impl RevocableMonitor {
                 }
                 s.owner_slot = Some(owner_slot);
             }
+            prof.finish(Phase::Inflate, t_inflate);
             return s;
         }
     }
@@ -611,6 +618,7 @@ impl RevocableMonitor {
             match self.policy {
                 InversionPolicy::Revocation => {
                     if eff > s.holder_priority {
+                        let t_signal = timers().start(Phase::SignalVictim);
                         if let Some(target) = s.holder_ctxs.first() {
                             let holder_obs = s.owner_slot.as_ref().map_or(0, |o| o.obs);
                             if !target.revocable() {
@@ -652,6 +660,7 @@ impl RevocableMonitor {
                                 }
                             }
                         }
+                        timers().finish(Phase::SignalVictim, t_signal);
                     }
                 }
                 InversionPolicy::PriorityInheritance => {
@@ -833,6 +842,7 @@ impl RevocableMonitor {
     /// with 0 would let a second thread acquire the same monitor. The
     /// CAS only deflates a word still frozen `INFLATED`.
     fn maybe_deflate(&self, s: &mut MState) {
+        let t_deflate = timers().start(Phase::Deflate);
         if s.owner.is_none()
             && s.grant.is_none()
             && s.queue.is_empty()
@@ -840,12 +850,16 @@ impl RevocableMonitor {
             && self.word.compare_exchange(INFLATED, 0, Ordering::AcqRel, Ordering::Relaxed).is_ok()
         {
             self.stats.deflations.fetch_add(1, Ordering::Relaxed);
+            // Only actual fat→thin transitions are recorded; the common
+            // still-busy call drops the span.
+            timers().finish(Phase::Deflate, t_deflate);
         }
     }
 
     /// Transfer ownership to the best waiter: highest priority, FIFO
     /// within a class (§4's prioritized monitor queues).
     fn grant_next(&self, s: &mut MState) {
+        let t_requeue = timers().start(Phase::Requeue);
         let Some(best) = s
             .queue
             .iter()
@@ -858,6 +872,7 @@ impl RevocableMonitor {
         let w = s.queue.remove(best);
         s.grant = Some(w.tid);
         w.handle.unpark();
+        timers().finish(Phase::Requeue, t_requeue);
     }
 
     /// `Object.wait` for the current holder (called via [`Tx::wait`]).

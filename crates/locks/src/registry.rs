@@ -43,6 +43,9 @@ struct Registry {
     ids: HashMap<std::thread::ThreadId, ThreadId>,
     next_id: u32,
     holders: HashMap<u64, HolderInfo>,
+    /// Declared priority of each currently blocked thread (snapshot
+    /// annotation; maintained by `on_block`/`on_unblock`).
+    waiter_prios: HashMap<ThreadId, Priority>,
 }
 
 impl Registry {
@@ -97,9 +100,10 @@ pub(crate) fn on_release(monitor_id: u64, owner: std::thread::ThreadId) {
 /// Record that `handle`'s thread blocked on `monitor_id`; detect and
 /// break any deadlock cycle this closes. Returns whether a victim was
 /// flagged (diagnostics).
-pub(crate) fn on_block(monitor_id: u64, handle: Thread, _priority: Priority) -> bool {
+pub(crate) fn on_block(monitor_id: u64, handle: Thread, priority: Priority) -> bool {
     let mut r = registry().lock();
     let me = r.dense_id(handle.id());
+    r.waiter_prios.insert(me, priority);
     let Some(owner) = r.holders.get(&monitor_id).map(|h| h.thread) else {
         // Monitor between owners (grant in flight): no edge to record;
         // the next on_acquire will retarget if we are still queued.
@@ -176,7 +180,41 @@ pub(crate) fn on_unblock(thread: std::thread::ThreadId) {
     let mut r = registry().lock();
     if let Some(&id) = r.ids.get(&thread) {
         r.graph.remove_wait(id);
+        r.waiter_prios.remove(&id);
     }
+}
+
+/// A deterministic snapshot of the process-wide wait-for graph: every
+/// thread→monitor→holder blocking edge, annotated with the waiter's
+/// declared priority and the holder's deposited priority.
+///
+/// Thread ids are the registry's dense per-process ids (stable for a
+/// thread's lifetime); monitor ids are obs ids
+/// ([`RevocableMonitor::obs_id`](crate::RevocableMonitor::obs_id)), so
+/// [`crate::obs::monitor_names`] labels them. `governor_streak` is
+/// always 0 in this runtime — its revocation governors are per-monitor
+/// and not visible from the global registry.
+///
+/// This is the `revmon serve` live `/graph` payload; render with
+/// [`GraphSnapshot::to_dot`](revmon_obs::GraphSnapshot::to_dot) or
+/// [`to_json`](revmon_obs::GraphSnapshot::to_json).
+pub fn wait_graph_snapshot() -> revmon_obs::GraphSnapshot {
+    let r = registry().lock();
+    let holder_prio: HashMap<ThreadId, u8> =
+        r.holders.values().map(|h| (h.thread, h.priority.0)).collect();
+    let edges = r
+        .graph
+        .edges()
+        .map(|e| revmon_obs::GraphEdge {
+            waiter: e.waiter.0 as u64,
+            waiter_priority: r.waiter_prios.get(&e.waiter).map(|p| p.0).unwrap_or(0),
+            monitor: e.monitor.0 as u64,
+            holder: e.owner.0 as u64,
+            holder_priority: holder_prio.get(&e.owner).copied().unwrap_or(0),
+            governor_streak: 0,
+        })
+        .collect();
+    revmon_obs::GraphSnapshot::new(edges)
 }
 
 #[cfg(test)]

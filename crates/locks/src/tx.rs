@@ -287,12 +287,18 @@ pub(crate) fn commit_top_section(ctx: &SectionCtx) -> bool {
 /// those of sections nested inside it), newest first. Returns how many
 /// entries were restored.
 pub(crate) fn rollback_section(ctx: &SectionCtx) -> usize {
-    RT.with(|rt| {
+    // Slow-path phase timer: the undo-log walk is the data-restoration
+    // cost the paper's §3.1.2 step 1 pays on every revocation.
+    let prof = revmon_obs::prof::timers();
+    let t0 = prof.start(revmon_obs::Phase::UndoWalk);
+    let n = RT.with(|rt| {
         let mut log = rt.undo.borrow_mut();
         let n = log.len().saturating_sub(ctx.mark.position());
         log.rollback_to(ctx.mark, |e| e.restore_one());
         n
-    })
+    });
+    prof.finish(revmon_obs::Phase::UndoWalk, t0);
+    n
 }
 
 /// Append one write-barrier entry to this thread's undo log.

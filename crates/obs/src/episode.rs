@@ -106,12 +106,81 @@ pub struct Episode {
     /// Fresh fallback-to-blocking windows the governor opened during
     /// this episode.
     pub policy_fallbacks: u64,
+    /// Timestamp of the first genuine `RevokeRequest` (not throttles or
+    /// unresolvable marks), when one was observed.
+    pub first_revoke: Option<u64>,
+    /// Timestamp at which the last rollback of the episode completed.
+    pub last_rollback_end: Option<u64>,
+    /// Measured duration of that last rollback (clock units).
+    pub last_rollback_duration: u64,
+}
+
+/// The critical path of a resolved episode: where the requester's wait
+/// actually went, segment by segment. Segments sum to
+/// [`Episode::latency`] for rollback-resolved episodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Requester blocked before the runtime reacted (block → first
+    /// revoke request; the whole latency when nothing was revoked).
+    pub blocked_wait: u64,
+    /// Revoke request → the victim actually starting its rollback (the
+    /// victim runs to its next yield point first).
+    pub signal: u64,
+    /// The rollback itself: walking the undo log and restoring values.
+    pub undo_walk: u64,
+    /// Rollback completion → the requester's acquire (queue hand-off).
+    pub handoff: u64,
+}
+
+impl CriticalPath {
+    /// The segments in wait order, with their stable names (used as
+    /// flamegraph frames and report labels).
+    pub fn segments(&self) -> [(&'static str, u64); 4] {
+        [
+            ("blocked-wait", self.blocked_wait),
+            ("signal", self.signal),
+            ("undo-walk", self.undo_walk),
+            ("handoff", self.handoff),
+        ]
+    }
+
+    /// Sum of all segments.
+    pub fn total(&self) -> u64 {
+        self.blocked_wait + self.signal + self.undo_walk + self.handoff
+    }
 }
 
 impl Episode {
     /// Inversion latency: episode start to the requester's acquire.
     pub fn latency(&self) -> Option<u64> {
         self.end.map(|e| e.saturating_sub(self.start))
+    }
+
+    /// Break the latency of a resolved episode into critical-path
+    /// segments. `None` while the episode is unresolved. Episodes that
+    /// ended without any rollback put the whole wait into
+    /// `blocked_wait` — no revocation machinery ran on their critical
+    /// path.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        let end = self.end?;
+        Some(match self.last_rollback_end {
+            Some(rb_end) => {
+                let rb_start = rb_end.saturating_sub(self.last_rollback_duration);
+                // Deadlock breaks have no RevokeRequest: signaling is
+                // folded into blocked-wait by anchoring at the rollback.
+                let signaled = self.first_revoke.unwrap_or(rb_start).min(rb_start);
+                CriticalPath {
+                    blocked_wait: signaled.saturating_sub(self.start),
+                    signal: rb_start.saturating_sub(signaled),
+                    undo_walk: self.last_rollback_duration,
+                    handoff: end.saturating_sub(rb_end),
+                }
+            }
+            None => CriticalPath {
+                blocked_wait: end.saturating_sub(self.start),
+                ..CriticalPath::default()
+            },
+        })
     }
 }
 
@@ -128,6 +197,9 @@ struct OpenEpisode {
     governor_throttles: u64,
     policy_fallbacks: u64,
     deadlock: bool,
+    first_revoke: Option<u64>,
+    last_rollback_end: Option<u64>,
+    last_rollback_duration: u64,
 }
 
 impl OpenEpisode {
@@ -146,6 +218,9 @@ impl OpenEpisode {
             unresolvable_marks: self.unresolvable_marks,
             governor_throttles: self.governor_throttles,
             policy_fallbacks: self.policy_fallbacks,
+            first_revoke: self.first_revoke,
+            last_rollback_end: self.last_rollback_end,
+            last_rollback_duration: self.last_rollback_duration,
         }
     }
 
@@ -207,11 +282,17 @@ impl EpisodeBuilder {
                     governor_throttles: 0,
                     policy_fallbacks: 0,
                     deadlock: false,
+                    first_revoke: None,
+                    last_rollback_end: None,
+                    last_rollback_duration: 0,
                 });
                 match ev.kind {
                     EventKind::InversionUnresolved { .. } => ep.unresolvable_marks += 1,
                     EventKind::GovernorThrottle { .. } => ep.governor_throttles += 1,
-                    _ => ep.revoke_requests += 1,
+                    _ => {
+                        ep.revoke_requests += 1;
+                        ep.first_revoke.get_or_insert(ev.ts);
+                    }
                 }
             }
             EventKind::PolicyFallback => {
@@ -219,7 +300,7 @@ impl EpisodeBuilder {
                     ep.policy_fallbacks += 1;
                 }
             }
-            EventKind::Rollback { entries, .. } => {
+            EventKind::Rollback { entries, duration } => {
                 let deadlock = self.deadlock_victims.remove(&ev.thread);
                 let section_start = self.section_since.remove(&key);
                 let ep = match self.open.get_mut(&ev.monitor) {
@@ -240,11 +321,16 @@ impl EpisodeBuilder {
                             governor_throttles: 0,
                             policy_fallbacks: 0,
                             deadlock: false,
+                            first_revoke: None,
+                            last_rollback_end: None,
+                            last_rollback_duration: 0,
                         })
                     }
                 };
                 ep.rollbacks += 1;
                 ep.wasted_entries += entries;
+                ep.last_rollback_end = Some(ev.ts);
+                ep.last_rollback_duration = duration;
                 if deadlock.is_some() {
                     ep.deadlock = true;
                 }
@@ -336,6 +422,43 @@ mod tests {
         assert_eq!(e.wasted_entries, 4);
         assert_eq!(e.wasted_time, 20); // acquire@10 → rollback done@30
         assert_eq!(e.revoke_requests, 1);
+    }
+
+    #[test]
+    fn critical_path_segments_sum_to_latency() {
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+            ev(30, 1, 7, EventKind::Rollback { entries: 4, duration: 6 }),
+            ev(31, 2, 7, EventKind::Acquire),
+        ]);
+        let cp = eps[0].critical_path().expect("resolved episode");
+        assert_eq!(cp.blocked_wait, 2); // block@20 → request@22
+        assert_eq!(cp.signal, 2); // request@22 → rollback start@24
+        assert_eq!(cp.undo_walk, 6); // the measured rollback
+        assert_eq!(cp.handoff, 1); // rollback done@30 → acquire@31
+        assert_eq!(cp.total(), eps[0].latency().unwrap());
+
+        // Natural release: the whole wait is blocked time.
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(21, 1, 7, EventKind::InversionUnresolved { by: 2 }),
+            ev(50, 1, 7, EventKind::Release),
+            ev(51, 2, 7, EventKind::Acquire),
+        ]);
+        let cp = eps[0].critical_path().unwrap();
+        assert_eq!(cp.blocked_wait, 31);
+        assert_eq!((cp.signal, cp.undo_walk, cp.handoff), (0, 0, 0));
+
+        // Unresolved episodes have no critical path yet.
+        let eps = reconstruct_episodes(&[
+            ev(10, 1, 7, EventKind::Acquire),
+            ev(20, 2, 7, EventKind::Block),
+            ev(22, 1, 7, EventKind::RevokeRequest { by: 2 }),
+        ]);
+        assert!(eps[0].critical_path().is_none());
     }
 
     #[test]

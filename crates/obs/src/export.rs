@@ -65,6 +65,54 @@ pub fn write_events_jsonl<W: Write>(w: &mut W, events: &[Event]) -> io::Result<(
     Ok(())
 }
 
+/// Optional run context carried in the trace meta header, so `revmon
+/// analyze` can label a trace without the original CLI flags: sink
+/// drop accounting (was the recording lossy?), the effective governor
+/// config (was the run governed?), and the scheduler name. Every field
+/// is optional; absent fields are simply not written, which keeps
+/// [`write_trace_jsonl`]'s output — and the lossless round-trip
+/// guarantee — byte-identical to the pre-`RunMeta` format.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Events the sink recorded (accepted into the ring).
+    pub recorded: Option<u64>,
+    /// Events dropped on ring overflow. `Some(0)` is meaningful: it
+    /// asserts the trace is complete, which silence cannot.
+    pub dropped: Option<u64>,
+    /// Effective governor config as `(k, backoff, decay)`; `k == 0`
+    /// means the governor was disabled but explicitly so.
+    pub governor: Option<(u32, u64, u64)>,
+    /// Scheduler name (e.g. `"priority"`, `"lottery"`).
+    pub scheduler: Option<String>,
+}
+
+impl RunMeta {
+    /// Whether no field is set (header renders identically to the
+    /// meta-less format).
+    pub fn is_empty(&self) -> bool {
+        *self == RunMeta::default()
+    }
+
+    fn header_extras(&self) -> String {
+        let mut s = String::new();
+        if let Some(r) = self.recorded {
+            s.push_str(&format!(",\"recorded\":{r}"));
+        }
+        if let Some(d) = self.dropped {
+            s.push_str(&format!(",\"dropped\":{d}"));
+        }
+        if let Some((k, backoff, decay)) = self.governor {
+            s.push_str(&format!(
+                ",\"governor_k\":{k},\"governor_backoff\":{backoff},\"governor_decay\":{decay}"
+            ));
+        }
+        if let Some(sched) = &self.scheduler {
+            s.push_str(&format!(",\"scheduler\":\"{}\"", esc(sched)));
+        }
+        s
+    }
+}
+
 /// Write a full analyzable trace as JSON Lines: a meta header naming
 /// the clock unit, one `monitor_name` meta line per named monitor, then
 /// one flat object per event (same shape as [`write_events_jsonl`]).
@@ -76,7 +124,25 @@ pub fn write_trace_jsonl<W: Write>(
     unit: TsUnit,
     names: &std::collections::BTreeMap<u64, String>,
 ) -> io::Result<()> {
-    writeln!(w, "{{\"meta\":\"trace\",\"ts_unit\":\"{}\",\"version\":1}}", unit.suffix())?;
+    write_trace_jsonl_with(w, events, unit, names, &RunMeta::default())
+}
+
+/// [`write_trace_jsonl`] with run context appended to the meta header.
+/// With an empty [`RunMeta`] the output is byte-identical to
+/// [`write_trace_jsonl`].
+pub fn write_trace_jsonl_with<W: Write>(
+    w: &mut W,
+    events: &[Event],
+    unit: TsUnit,
+    names: &std::collections::BTreeMap<u64, String>,
+    meta: &RunMeta,
+) -> io::Result<()> {
+    writeln!(
+        w,
+        "{{\"meta\":\"trace\",\"ts_unit\":\"{}\",\"version\":1{}}}",
+        unit.suffix(),
+        meta.header_extras()
+    )?;
     for (monitor, name) in names {
         writeln!(
             w,
@@ -286,6 +352,19 @@ fn hist_json(name: &str, h: &crate::hist::Histogram) -> String {
 /// Render counters and histogram percentiles as one JSON document (the
 /// CLI's `--metrics-json` payload).
 pub fn metrics_json(counters: &[(&str, u64)], hists: &Histograms, unit: TsUnit) -> String {
+    metrics_json_with(counters, hists, unit, None)
+}
+
+/// [`metrics_json`] with an optional `"revocation_phases_ns"` section
+/// from the slow-path [`PhaseTimers`](crate::PhaseTimers) (always in
+/// wall nanoseconds regardless of `ts_unit` — see the
+/// [`prof`](crate::prof) module docs).
+pub fn metrics_json_with(
+    counters: &[(&str, u64)],
+    hists: &Histograms,
+    unit: TsUnit,
+    phases: Option<&crate::prof::PhaseTimers>,
+) -> String {
     let mut out = String::from("{\n  \"counters\": {\n");
     for (i, (name, v)) in counters.iter().enumerate() {
         let comma = if i + 1 < counters.len() { "," } else { "" };
@@ -293,6 +372,9 @@ pub fn metrics_json(counters: &[(&str, u64)], hists: &Histograms, unit: TsUnit) 
     }
     out.push_str("  },\n");
     out.push_str(&format!("  \"ts_unit\": \"{}\",\n", unit.suffix()));
+    if let Some(t) = phases {
+        out.push_str(&format!("  \"revocation_phases_ns\": {},\n", t.json()));
+    }
     out.push_str("  \"histograms\": {\n");
     let mut rows = Vec::new();
     hists.for_each(|name, h| rows.push(hist_json(name, h)));
@@ -464,6 +546,56 @@ mod tests {
         assert_eq!(lines[0], "{\"meta\":\"trace\",\"ts_unit\":\"ticks\",\"version\":1}");
         assert_eq!(lines[1], "{\"meta\":\"monitor_name\",\"monitor\":7,\"name\":\"queue\"}");
         assert!(lines[2].starts_with("{\"ts\":10,"));
+    }
+
+    #[test]
+    fn run_meta_header_carries_context_and_empty_meta_is_identity() {
+        let names = std::collections::BTreeMap::new();
+        let meta = RunMeta {
+            recorded: Some(120),
+            dropped: Some(8),
+            governor: Some((3, 500, 2000)),
+            scheduler: Some("priority".into()),
+        };
+        let mut buf = Vec::new();
+        write_trace_jsonl_with(&mut buf, &[], TsUnit::WallNanos, &names, &meta).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            text.lines().next().unwrap(),
+            "{\"meta\":\"trace\",\"ts_unit\":\"ns\",\"version\":1,\"recorded\":120,\
+             \"dropped\":8,\"governor_k\":3,\"governor_backoff\":500,\"governor_decay\":2000,\
+             \"scheduler\":\"priority\"}"
+        );
+
+        // Empty meta must keep the legacy header byte-identical.
+        let mut legacy = Vec::new();
+        write_trace_jsonl(&mut legacy, &inversion_scenario(), TsUnit::VirtualTicks, &names)
+            .unwrap();
+        let mut with = Vec::new();
+        write_trace_jsonl_with(
+            &mut with,
+            &inversion_scenario(),
+            TsUnit::VirtualTicks,
+            &names,
+            &RunMeta::default(),
+        )
+        .unwrap();
+        assert_eq!(legacy, with);
+        assert!(RunMeta::default().is_empty());
+        assert!(!meta.is_empty());
+    }
+
+    #[test]
+    fn metrics_json_with_embeds_phase_timers() {
+        let hists = Histograms::default();
+        let timers = crate::prof::PhaseTimers::new();
+        timers.record(crate::prof::Phase::UndoWalk, 1500);
+        let json = metrics_json_with(&[("acquires", 1)], &hists, TsUnit::WallNanos, Some(&timers));
+        assert!(json.contains("\"revocation_phases_ns\""));
+        assert!(json.contains("\"undo-walk\": {\"count\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // And the phase-less form stays phase-free.
+        assert!(!metrics_json(&[], &hists, TsUnit::WallNanos).contains("revocation_phases_ns"));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::collections::BTreeMap;
 
 use crate::event::{Event, EventKind};
+use crate::export::RunMeta;
 use crate::sink::TsUnit;
 
 /// Damage counters accumulated while importing a trace.
@@ -54,6 +55,10 @@ pub struct TraceImport {
     pub names: BTreeMap<u64, String>,
     /// Clock domain from the stream header, if one was present.
     pub ts_unit: Option<TsUnit>,
+    /// Run context from the stream header (drop accounting, governor
+    /// config, scheduler). All fields `None` for traces written before
+    /// the header carried them.
+    pub run_meta: RunMeta,
     /// What was skipped.
     pub warnings: ImportWarnings,
     /// `(thread, monitor)` pairs whose events landed on skipped
@@ -194,7 +199,7 @@ fn field<'a>(obj: &'a [(String, JVal)], key: &str) -> Option<&'a JVal> {
 /// What one parsed line meant.
 enum Line {
     Event(Event),
-    UnitMeta(Option<TsUnit>),
+    TraceMeta(Option<TsUnit>, RunMeta),
     NameMeta(u64, String),
     UnknownMeta,
     UnknownKind,
@@ -202,12 +207,28 @@ enum Line {
 
 fn classify(obj: &[(String, JVal)]) -> Option<Line> {
     if let Some(meta) = field(obj, "meta") {
+        let num = |key: &str| field(obj, key).and_then(JVal::as_num);
         return Some(match meta.as_str()? {
-            "trace" => Line::UnitMeta(match field(obj, "ts_unit").and_then(JVal::as_str) {
-                Some("ticks") => Some(TsUnit::VirtualTicks),
-                Some("ns") => Some(TsUnit::WallNanos),
-                _ => None,
-            }),
+            "trace" => Line::TraceMeta(
+                match field(obj, "ts_unit").and_then(JVal::as_str) {
+                    Some("ticks") => Some(TsUnit::VirtualTicks),
+                    Some("ns") => Some(TsUnit::WallNanos),
+                    _ => None,
+                },
+                RunMeta {
+                    recorded: num("recorded"),
+                    dropped: num("dropped"),
+                    governor: match (
+                        num("governor_k"),
+                        num("governor_backoff"),
+                        num("governor_decay"),
+                    ) {
+                        (Some(k), Some(b), Some(d)) => Some((k.min(u32::MAX as u64) as u32, b, d)),
+                        _ => None,
+                    },
+                    scheduler: field(obj, "scheduler").and_then(JVal::as_str).map(str::to_string),
+                },
+            ),
             "monitor_name" => Line::NameMeta(
                 field(obj, "monitor")?.as_num()?,
                 field(obj, "name")?.as_str()?.to_string(),
@@ -267,7 +288,12 @@ pub fn import_trace_jsonl(text: &str) -> TraceImport {
                 last_ts = ev.ts;
                 imp.events.push(ev);
             }
-            Line::UnitMeta(unit) => imp.ts_unit = unit.or(imp.ts_unit),
+            Line::TraceMeta(unit, meta) => {
+                imp.ts_unit = unit.or(imp.ts_unit);
+                if !meta.is_empty() {
+                    imp.run_meta = meta;
+                }
+            }
             Line::NameMeta(monitor, name) => {
                 imp.names.insert(monitor, name);
             }
@@ -321,6 +347,33 @@ mod tests {
         assert_eq!(imp.names.get(&7).map(String::as_str), Some("queue"));
         assert_eq!(imp.events[1].kind, EventKind::RevokeRequest { by: 2 });
         assert_eq!(imp.warnings.total(), 0);
+    }
+
+    #[test]
+    fn run_meta_round_trips_through_the_header() {
+        let text = concat!(
+            "{\"meta\":\"trace\",\"ts_unit\":\"ns\",\"version\":1,\"recorded\":120,",
+            "\"dropped\":8,\"governor_k\":3,\"governor_backoff\":500,\"governor_decay\":2000,",
+            "\"scheduler\":\"priority\"}\n",
+            "{\"ts\":10,\"thread\":1,\"monitor\":3,\"kind\":\"Acquire\"}\n",
+        );
+        let imp = import_trace_jsonl(text);
+        assert_eq!(imp.ts_unit, Some(TsUnit::WallNanos));
+        assert_eq!(imp.run_meta.recorded, Some(120));
+        assert_eq!(imp.run_meta.dropped, Some(8));
+        assert_eq!(imp.run_meta.governor, Some((3, 500, 2000)));
+        assert_eq!(imp.run_meta.scheduler.as_deref(), Some("priority"));
+        assert_eq!(imp.events.len(), 1);
+        assert_eq!(imp.warnings.total(), 0);
+
+        // Headers without the extras leave the meta empty (legacy traces).
+        let imp = import_trace_jsonl("{\"meta\":\"trace\",\"ts_unit\":\"ticks\",\"version\":1}\n");
+        assert!(imp.run_meta.is_empty());
+        // A partial governor triple is not a governor config.
+        let imp = import_trace_jsonl(
+            "{\"meta\":\"trace\",\"ts_unit\":\"ticks\",\"version\":1,\"governor_k\":3}\n",
+        );
+        assert_eq!(imp.run_meta.governor, None);
     }
 
     #[test]

@@ -32,8 +32,14 @@
 //!   contention profiles, rendered by [`write_report`],
 //!   [`analysis_json`], and [`write_prometheus`]).
 //!
-//! See `docs/observability.md` and `docs/analysis.md` for the
-//! end-to-end guides.
+//! * profiling ([`prof`]) — always-on slow-path phase timers
+//!   ([`PhaseTimers`]), wait-for graph snapshots ([`GraphSnapshot`],
+//!   DOT + JSON), per-episode critical paths ([`CriticalPath`]), and
+//!   contention flamegraph export ([`FoldedStacks`], brendangregg
+//!   folded format).
+//!
+//! See `docs/observability.md`, `docs/analysis.md`, and
+//! `docs/profiling.md` for the end-to-end guides.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -42,9 +48,12 @@ mod analyze;
 mod episode;
 mod event;
 mod export;
+mod flame;
+mod graph;
 mod hist;
 mod import;
 mod latency;
+pub mod prof;
 mod ring;
 mod sink;
 
@@ -52,13 +61,17 @@ pub use analyze::{
     analysis_json, monitor_label, write_prometheus, write_report, Analysis, ExactStats,
     MonitorProfile,
 };
-pub use episode::{reconstruct_episodes, Episode, EpisodeBuilder, Resolution};
+pub use episode::{reconstruct_episodes, CriticalPath, Episode, EpisodeBuilder, Resolution};
 pub use event::{Event, EventKind};
 pub use export::{
-    metrics_json, write_chrome_trace, write_events_jsonl, write_summary, write_trace_jsonl,
+    metrics_json, metrics_json_with, write_chrome_trace, write_events_jsonl, write_summary,
+    write_trace_jsonl, write_trace_jsonl_with, RunMeta,
 };
+pub use flame::FoldedStacks;
+pub use graph::{GraphEdge, GraphSnapshot};
 pub use hist::Histogram;
 pub use import::{import_trace_jsonl, ImportWarnings, TraceImport};
 pub use latency::{Histograms, LatencyTracker};
+pub use prof::{Phase, PhaseTimers};
 pub use ring::EventRing;
 pub use sink::{EventSink, TsUnit};

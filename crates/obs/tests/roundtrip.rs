@@ -3,8 +3,8 @@
 //! to counted warnings plus a usable analysis — never a panic.
 
 use revmon_obs::{
-    import_trace_jsonl, reconstruct_episodes, write_trace_jsonl, Analysis, Event, EventKind,
-    Resolution, TsUnit,
+    import_trace_jsonl, reconstruct_episodes, write_trace_jsonl, write_trace_jsonl_with, Analysis,
+    Event, EventKind, EventSink, Resolution, RunMeta, TsUnit,
 };
 use std::collections::BTreeMap;
 
@@ -52,6 +52,62 @@ fn jsonl_round_trip_is_lossless_on_clean_traces() {
     let mut buf2 = Vec::new();
     write_trace_jsonl(&mut buf2, &imp.events, imp.unit(), &imp.names).unwrap();
     assert_eq!(text, String::from_utf8(buf2).unwrap());
+}
+
+#[test]
+fn run_meta_survives_export_import_and_reexport() {
+    let events = full_vocabulary_trace();
+    let mut names = BTreeMap::new();
+    names.insert(7u64, "queue".to_string());
+    let meta = RunMeta {
+        recorded: Some(events.len() as u64),
+        dropped: Some(0),
+        governor: Some((3, 500, 2000)),
+        scheduler: Some("priority".into()),
+    };
+
+    let mut buf = Vec::new();
+    write_trace_jsonl_with(&mut buf, &events, TsUnit::VirtualTicks, &names, &meta).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+
+    let imp = import_trace_jsonl(&text);
+    assert_eq!(imp.warnings.total(), 0, "meta header broke the importer: {:?}", imp.warnings);
+    assert_eq!(imp.events, events);
+    assert_eq!(imp.run_meta, meta, "run meta did not round-trip");
+
+    // Re-export with the imported meta: byte-identical.
+    let mut buf2 = Vec::new();
+    write_trace_jsonl_with(&mut buf2, &imp.events, imp.unit(), &imp.names, &imp.run_meta).unwrap();
+    assert_eq!(text, String::from_utf8(buf2).unwrap());
+}
+
+#[test]
+fn ring_overflow_shows_up_in_the_trace_meta_header() {
+    // A sink too small for its stream must not masquerade as a quiet
+    // run: the export's meta header carries the drop counter.
+    let sink = EventSink::with_capacity(TsUnit::WallNanos, 2);
+    for i in 0..10u64 {
+        sink.record(ev(i, 0, 1, EventKind::Acquire)); // one shard
+    }
+    assert_eq!(sink.recorded(), 10);
+    assert_eq!(sink.dropped(), 8);
+
+    let events = sink.drain();
+    assert_eq!(events.len(), 2);
+    let meta = RunMeta {
+        recorded: Some(sink.recorded()),
+        dropped: Some(sink.dropped()),
+        ..RunMeta::default()
+    };
+    let mut buf = Vec::new();
+    write_trace_jsonl_with(&mut buf, &events, TsUnit::WallNanos, &BTreeMap::new(), &meta).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.lines().next().unwrap().contains("\"dropped\":8"), "header: {text}");
+
+    let imp = import_trace_jsonl(&text);
+    assert_eq!(imp.run_meta.dropped, Some(8), "drop counter lost on import");
+    assert_eq!(imp.run_meta.recorded, Some(10));
+    assert_eq!(imp.events.len(), 2);
 }
 
 #[test]

@@ -25,6 +25,7 @@ use crate::trace::TraceEvent;
 use crate::value::ObjRef;
 use crate::vm::Vm;
 use revmon_core::ThreadId;
+use revmon_obs::prof::{timers, Phase};
 
 impl Vm {
     /// Flag `holder` so that its outermost section on `obj` is revoked at
@@ -116,8 +117,13 @@ impl Vm {
             return Ok(());
         }
 
+        // Slow-path phase timers (host wall nanoseconds — see the
+        // `revmon_obs::prof` docs for why the VM doesn't use ticks here).
+        let prof = timers();
+
         let prior_state = self.thread(tid).state;
         // Detach from whatever the thread is suspended on.
+        let t_signal = prof.start(Phase::SignalVictim);
         match prior_state {
             ThreadState::BlockedEnter(m) => {
                 self.monitors.get_mut(m).queue.remove_where(|&t| t == tid);
@@ -137,8 +143,10 @@ impl Vm {
             }
             ThreadState::Terminated => return Ok(()),
         }
+        prof.finish(Phase::SignalVictim, t_signal);
 
         // 1. Restore shared state (before releasing any locks).
+        let t_undo = prof.start(Phase::UndoWalk);
         let mark = self.thread(tid).sections[idx].mark;
         let mut entries: u64 = 0;
         {
@@ -177,9 +185,11 @@ impl Vm {
                 duration,
             );
         }
+        prof.finish(Phase::UndoWalk, t_undo);
 
         // 2. Release monitors innermost-first, as the propagating rollback
         //    exception's handlers would.
+        let t_requeue = prof.start(Phase::Requeue);
         let after_wait =
             self.thread(tid).sections[idx].snapshot.as_ref().map(|s| s.after_wait).unwrap_or(false);
         let to_release: Vec<ObjRef> =
@@ -187,8 +197,12 @@ impl Vm {
         for m in to_release {
             self.release_one_level(tid, m)?;
         }
+        // Requeue resumes for the reschedule step below; the restore
+        // phase between them is accounted separately.
+        let requeue_part = t_requeue.map(|t0| t0.elapsed().as_nanos() as u64).unwrap_or(0);
 
         // 3. Restore control.
+        let t_restore = prof.start(Phase::Restore);
         let target = self.thread(tid).sections[idx].clone();
         let snap = target.snapshot.clone().expect("can_revoke implies snapshot");
         {
@@ -214,8 +228,10 @@ impl Vm {
             entries,
             discarded_ticks,
         );
+        prof.finish(Phase::Restore, t_restore);
 
         // 4. Reschedule.
+        let t_requeue2 = prof.start(Phase::Requeue);
         if after_wait {
             let eff = self.thread(tid).effective_priority;
             self.thread_mut(tid).wait_recursion = 1;
@@ -247,6 +263,10 @@ impl Vm {
                 }
                 _ => unreachable!("filtered above"),
             }
+        }
+        if let Some(t0) = t_requeue2 {
+            // One Requeue sample per revocation: release + reschedule.
+            prof.record(Phase::Requeue, requeue_part + t0.elapsed().as_nanos() as u64);
         }
         let rolled_monitor = target.monitor;
         self.with_probe(|p, vm| p.on_rollback(vm, tid, rolled_monitor, entries));

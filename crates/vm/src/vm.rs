@@ -814,6 +814,32 @@ impl Vm {
     pub fn governor(&self) -> &Governor {
         &self.governor
     }
+
+    /// A deterministic snapshot of the live wait-for graph: every
+    /// thread→monitor→holder blocking edge, annotated with effective
+    /// priorities and the governor's revocation streak for the
+    /// `(monitor, holder)` pair. Render with
+    /// [`GraphSnapshot::to_dot`](revmon_obs::GraphSnapshot::to_dot) /
+    /// [`to_json`](revmon_obs::GraphSnapshot::to_json), using
+    /// [`Vm::monitor_names`] for labels.
+    pub fn wait_graph_snapshot(&self) -> revmon_obs::GraphSnapshot {
+        let prio = |tid: revmon_core::ThreadId| {
+            self.threads.get(tid.index()).map(|t| t.effective_priority.0).unwrap_or(0)
+        };
+        let edges = self
+            .graph
+            .edges()
+            .map(|e| revmon_obs::GraphEdge {
+                waiter: e.waiter.0 as u64,
+                waiter_priority: prio(e.waiter),
+                monitor: e.monitor.0 as u64,
+                holder: e.owner.0 as u64,
+                holder_priority: prio(e.owner),
+                governor_streak: self.governor.streak(e.monitor.0 as u64, e.owner.0 as u64),
+            })
+            .collect();
+        revmon_obs::GraphSnapshot::new(edges)
+    }
 }
 
 /// What one scheduling round did (see [`Vm::run_round`]).

@@ -1,0 +1,50 @@
+//! Contention flamegraphs from the Figure-1 inversion scenario: the
+//! folded-stack export must attribute the episode's critical path to the
+//! contended monitor, and the brendangregg-format text must round-trip
+//! byte-stable (so diffing two exports is meaningful).
+
+mod common;
+
+use revmon_core::Priority;
+use revmon_obs::{EventSink, FoldedStacks, TsUnit};
+use revmon_vm::{assemble, Vm, VmConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+#[test]
+fn folded_stacks_round_trip_byte_stable_on_priority_inversion() {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../programs/priority_inversion.rvm");
+    let src = std::fs::read_to_string(&p).expect("read priority_inversion.rvm");
+    let program = assemble(&src).expect("assemble");
+    let entry = program.method_by_name("main").expect("main");
+
+    let sink = Arc::new(EventSink::new(TsUnit::VirtualTicks));
+    let mut vm = Vm::try_new(program, VmConfig::modified()).expect("verified");
+    vm.attach_sink(Arc::clone(&sink));
+    vm.spawn("main", entry, vec![], Priority::NORM);
+    vm.run().expect("run");
+
+    let events = sink.drain();
+    let names = vm.monitor_names();
+    let episodes = revmon_obs::reconstruct_episodes(&events);
+    assert!(!episodes.is_empty(), "the scenario must produce an inversion episode");
+
+    let stacks = FoldedStacks::from_episodes(&episodes, &names);
+    assert!(!stacks.is_empty(), "no stacks from {} episode(s)", episodes.len());
+
+    let folded = stacks.folded();
+    // Every line is `frame;frame;frame weight` over the named monitor.
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("weight column");
+        assert_eq!(stack.split(';').count(), 3, "frames: {line}");
+        weight.parse::<u64>().unwrap_or_else(|_| panic!("weight not integral: {line}"));
+    }
+    assert!(folded.contains("lock;"), "monitor frame missing:\n{folded}");
+    assert!(folded.contains(";revocation;"), "resolution frame missing:\n{folded}");
+    assert!(folded.contains(";undo-walk "), "critical-path phase missing:\n{folded}");
+
+    // Byte-stable round trip: parse and re-emit reproduces the text.
+    let reparsed = FoldedStacks::parse_folded(&folded);
+    assert_eq!(reparsed, stacks);
+    assert_eq!(reparsed.folded(), folded, "re-emission must be byte-identical");
+}
